@@ -1,0 +1,92 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md`:
+//!
+//! * number of LSH hash bits `d′` and hash tables `l`;
+//! * strict Algorithm-1 bucket semantics vs greedy refinement of oversized buckets;
+//! * the group tag summarizer (frequency vs tf·idf vs LDA);
+//! * MAX-AVG vs MAX-MIN dispersion greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use tagdm_bench::workloads::{enumerate_groups, ExperimentScale, Workload};
+use tagdm_core::catalog;
+use tagdm_core::context::{MiningContext, SummarizerChoice};
+use tagdm_core::solvers::{ConstraintMode, SmLshSolver, Solver};
+use tagdm_geometry::dispersion::{max_avg_greedy, max_min_greedy};
+use tagdm_geometry::distance::DistanceMatrix;
+
+fn bench_lsh_parameters(c: &mut Criterion) {
+    let workload = Workload::build(ExperimentScale::Small);
+    let params = workload.relaxed_params();
+    let problem = catalog::problem_1(params);
+
+    let mut group = c.benchmark_group("ablation_lsh_parameters");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for bits in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("bits", bits), &bits, |b, &bits| {
+            let solver = SmLshSolver::new(ConstraintMode::Fold).with_bits(bits);
+            b.iter(|| solver.solve(&workload.context, &problem))
+        });
+    }
+    for tables in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("tables", tables), &tables, |b, &tables| {
+            let solver = SmLshSolver::new(ConstraintMode::Fold).with_tables(tables);
+            b.iter(|| solver.solve(&workload.context, &problem))
+        });
+    }
+    group.bench_function("strict_bucket_semantics", |b| {
+        let solver = SmLshSolver::new(ConstraintMode::Fold).strict();
+        b.iter(|| solver.solve(&workload.context, &problem))
+    });
+    group.bench_function("refined_buckets", |b| {
+        let solver = SmLshSolver::new(ConstraintMode::Fold);
+        b.iter(|| solver.solve(&workload.context, &problem))
+    });
+    group.finish();
+}
+
+fn bench_summarizers(c: &mut Criterion) {
+    let dataset =
+        tagdm_data::generator::MovieLensStyleGenerator::new(ExperimentScale::Small.generator_config())
+            .generate();
+    let groups = enumerate_groups(&dataset, ExperimentScale::Small);
+
+    let mut group = c.benchmark_group("ablation_summarizers");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let choices = [
+        ("frequency", SummarizerChoice::Frequency),
+        ("tfidf", SummarizerChoice::TfIdf),
+        ("lda_10", SummarizerChoice::fast_lda(10)),
+    ];
+    for (name, choice) in choices {
+        group.bench_function(name, |b| {
+            b.iter(|| MiningContext::build(&dataset, groups.clone(), choice))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispersion_objectives(c: &mut Criterion) {
+    let workload = Workload::build(ExperimentScale::Small);
+    let n = workload.context.num_groups();
+    let matrix = DistanceMatrix::from_fn(n, |i, j| {
+        1.0 - workload
+            .context
+            .tag_signature(i)
+            .cosine_similarity(workload.context.tag_signature(j))
+    });
+
+    let mut group = c.benchmark_group("ablation_dispersion_objective");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("max_avg_greedy", |b| b.iter(|| max_avg_greedy(&matrix, 3)));
+    group.bench_function("max_min_greedy", |b| b.iter(|| max_min_greedy(&matrix, 3)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lsh_parameters,
+    bench_summarizers,
+    bench_dispersion_objectives
+);
+criterion_main!(benches);

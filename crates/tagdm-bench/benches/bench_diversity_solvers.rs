@@ -1,0 +1,40 @@
+//! Criterion benchmark behind Figure 5: Exact vs DV-FDP-Fi vs DV-FDP-Fo on the
+//! tag-diversity problems (Problems 4–6 of Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use tagdm_bench::workloads::{ExperimentScale, Workload};
+use tagdm_core::catalog;
+use tagdm_core::solvers::{ConstraintMode, DvFdpSolver, ExactSolver, Solver};
+
+fn bench_diversity(c: &mut Criterion) {
+    let workload = Workload::build(ExperimentScale::Small);
+    let params = workload.relaxed_params();
+
+    let mut group = c.benchmark_group("fig5_diversity_solvers");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for pid in 4..=6 {
+        let problem = catalog::problem(pid, params);
+        let exact = ExactSolver::new();
+        let fdp_fi = DvFdpSolver::new(ConstraintMode::Filter);
+        let fdp_fo = DvFdpSolver::new(ConstraintMode::Fold);
+        let solvers: Vec<(&str, &dyn Solver)> = vec![
+            ("Exact", &exact),
+            ("DV-FDP-Fi", &fdp_fi),
+            ("DV-FDP-Fo", &fdp_fo),
+        ];
+        for (name, solver) in solvers {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("problem_{pid}")),
+                &problem,
+                |b, problem| b.iter(|| solver.solve(&workload.context, problem)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diversity);
+criterion_main!(benches);

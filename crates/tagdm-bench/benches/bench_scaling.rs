@@ -1,0 +1,59 @@
+//! Criterion benchmark behind Figure 7: solver running time as the number of input
+//! tagging-action tuples (and therefore candidate groups) grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use tagdm_bench::workloads::{build_context, ExperimentScale, Workload};
+use tagdm_core::catalog;
+use tagdm_core::solvers::{ConstraintMode, DvFdpSolver, ExactSolver, SmLshSolver, Solver};
+use tagdm_data::query::size_bins;
+
+fn bench_scaling(c: &mut Criterion) {
+    let scale = ExperimentScale::Small;
+    let base = Workload::build(scale);
+    let sizes = [
+        base.dataset.num_actions(),
+        base.dataset.num_actions() * 6 / 10,
+        base.dataset.num_actions() * 3 / 10,
+    ];
+    let bins = size_bins(&base.dataset, &sizes, 0xBE7C);
+    let contexts: Vec<_> = bins
+        .iter()
+        .map(|dataset| {
+            let ctx = build_context(dataset, scale);
+            (dataset.num_actions(), ctx)
+        })
+        .collect();
+
+    let params = base.relaxed_params();
+    let p1 = catalog::problem_1(params);
+    let p6 = catalog::problem_6(params);
+    let exact = ExactSolver::new();
+    let lsh = SmLshSolver::new(ConstraintMode::Fold);
+    let fdp = DvFdpSolver::new(ConstraintMode::Fold);
+
+    let mut group = c.benchmark_group("fig7_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (num_actions, ctx) in &contexts {
+        group.bench_with_input(
+            BenchmarkId::new("Exact_p1", num_actions),
+            ctx,
+            |b, ctx| b.iter(|| exact.solve(ctx, &p1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("SM-LSH-Fo_p1", num_actions),
+            ctx,
+            |b, ctx| b.iter(|| lsh.solve(ctx, &p1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("DV-FDP-Fo_p6", num_actions),
+            ctx,
+            |b, ctx| b.iter(|| fdp.solve(ctx, &p6)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmark behind Figure 3: Exact vs SM-LSH-Fi vs SM-LSH-Fo on the
+//! tag-similarity problems (Problems 1–3 of Table 1).
+//!
+//! The workload (corpus, group enumeration, LDA signatures) is built once outside the
+//! measurement loop, exactly as the paper's timing excludes topic discovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use tagdm_bench::workloads::{ExperimentScale, Workload};
+use tagdm_core::catalog;
+use tagdm_core::solvers::{ConstraintMode, ExactSolver, SmLshSolver, Solver};
+
+fn bench_similarity(c: &mut Criterion) {
+    let workload = Workload::build(ExperimentScale::Small);
+    let params = workload.relaxed_params();
+
+    let mut group = c.benchmark_group("fig3_similarity_solvers");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for pid in 1..=3 {
+        let problem = catalog::problem(pid, params);
+        let exact = ExactSolver::new();
+        let lsh_fi = SmLshSolver::new(ConstraintMode::Filter);
+        let lsh_fo = SmLshSolver::new(ConstraintMode::Fold);
+        let solvers: Vec<(&str, &dyn Solver)> = vec![
+            ("Exact", &exact),
+            ("SM-LSH-Fi", &lsh_fi),
+            ("SM-LSH-Fo", &lsh_fo),
+        ];
+        for (name, solver) in solvers {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("problem_{pid}")),
+                &problem,
+                |b, problem| b.iter(|| solver.solve(&workload.context, problem)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the substrates the TagDM pipeline is built on:
+//! corpus generation, group enumeration, LDA training, LSH index construction and the
+//! facility-dispersion greedy. These are not paper figures; they document where the
+//! pipeline spends its time and guard against performance regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tagdm_bench::workloads::{enumerate_groups, ExperimentScale};
+use tagdm_data::generator::{GeneratorConfig, MovieLensStyleGenerator};
+use tagdm_geometry::dispersion::{max_avg_greedy, max_min_greedy};
+use tagdm_geometry::distance::DistanceMatrix;
+use tagdm_lsh::index::{LshConfig, LshIndex};
+use tagdm_topics::corpus::Corpus;
+use tagdm_topics::lda::{LdaConfig, LdaModel};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Corpus generation.
+    group.bench_function("generate_small_corpus", |b| {
+        b.iter(|| MovieLensStyleGenerator::new(GeneratorConfig::small()).generate())
+    });
+
+    // Group enumeration over the generated corpus.
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+    group.bench_function("enumerate_groups", |b| {
+        b.iter(|| enumerate_groups(&dataset, ExperimentScale::Small))
+    });
+
+    // LDA training over the group tag bags.
+    let groups = enumerate_groups(&dataset, ExperimentScale::Small);
+    let corpus = Corpus::from_documents(
+        dataset.num_tags(),
+        groups
+            .iter()
+            .map(|g| g.tag_counts.iter().map(|&(t, c)| (t.0, c)).collect())
+            .collect(),
+    );
+    group.bench_function("lda_train_10_topics", |b| {
+        b.iter(|| LdaModel::train(&corpus, LdaConfig::fast(10)))
+    });
+
+    // LSH index construction over random-ish sparse vectors (the group signatures).
+    let model = LdaModel::train(&corpus, LdaConfig::fast(10));
+    let vectors: Vec<Vec<(u32, f64)>> = (0..corpus.len())
+        .map(|d| {
+            model
+                .document_topics(d)
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| (i as u32, w))
+                .collect()
+        })
+        .collect();
+    group.bench_function("lsh_index_build_d10_l1", |b| {
+        b.iter(|| {
+            LshIndex::build(
+                LshConfig {
+                    dims: 10,
+                    num_bits: 10,
+                    num_tables: 1,
+                    seed: 7,
+                },
+                vectors.iter().map(|v| v.as_slice()),
+            )
+        })
+    });
+
+    // Distance matrix + dispersion greedy.
+    let signatures: Vec<Vec<f64>> = (0..corpus.len()).map(|d| model.document_topics(d)).collect();
+    group.bench_function("distance_matrix_plus_max_avg_greedy", |b| {
+        b.iter(|| {
+            let matrix = DistanceMatrix::from_fn(signatures.len(), |i, j| {
+                let dot: f64 = signatures[i].iter().zip(&signatures[j]).map(|(a, b)| a * b).sum();
+                let na: f64 = signatures[i].iter().map(|a| a * a).sum::<f64>().sqrt();
+                let nb: f64 = signatures[j].iter().map(|a| a * a).sum::<f64>().sqrt();
+                1.0 - dot / (na * nb)
+            });
+            max_avg_greedy(&matrix, 3)
+        })
+    });
+    let matrix = DistanceMatrix::from_fn(signatures.len(), |i, j| {
+        (signatures[i][0] - signatures[j][0]).abs()
+    });
+    group.bench_function("max_min_greedy_k3", |b| b.iter(|| max_min_greedy(&matrix, 3)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

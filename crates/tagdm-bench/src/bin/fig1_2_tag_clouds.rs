@@ -1,0 +1,18 @@
+//! Reproduces Figures 1–2: tag clouds (group tag signatures) for the corpus' most
+//! tagged director, over all users and over the users of the most active state.
+
+use tagdm_bench::experiments::tag_clouds;
+use tagdm_bench::report::write_json;
+use tagdm_bench::workloads::ExperimentScale;
+use tagdm_data::generator::MovieLensStyleGenerator;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("building {} corpus ...", scale.name());
+    let dataset = MovieLensStyleGenerator::new(scale.generator_config()).generate();
+    let result = tag_clouds::run(&dataset, 15).expect("the generated corpus is never empty");
+    println!("{}", result.render());
+    if let Some(path) = write_json("fig1_2_tag_clouds", &result) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,32 @@
+//! Reproduces Figures 3–4: execution time and result quality of Exact vs SM-LSH-Fi vs
+//! SM-LSH-Fo on the tag-similarity problems (Problems 1–3 of Table 1).
+//!
+//! Scale is controlled by `TAGDM_SCALE` (small / medium / paper). At paper scale the
+//! Exact baseline is candidate-capped (full enumeration is intractable — the point the
+//! paper makes); the cap is reported in the output record.
+
+use tagdm_bench::experiments::solver_comparison;
+use tagdm_bench::report::write_json;
+use tagdm_bench::workloads::{ExperimentScale, Workload};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("building {} workload (corpus + groups + LDA signatures) ...", scale.name());
+    let workload = Workload::build(scale);
+    eprintln!(
+        "corpus: {} actions, {} candidate groups, {} topics",
+        workload.dataset.num_actions(),
+        workload.num_groups(),
+        workload.context.signature_dims()
+    );
+    let params = workload.relaxed_params();
+    let result = solver_comparison::run_similarity(&workload, params);
+    println!("{}", result.time_table("Figure 3 — execution time (Problems 1-3, tag similarity)"));
+    println!("{}", result.quality_table("Figure 4 — result quality (Problems 1-3, tag similarity)"));
+    if result.exact_capped {
+        println!("note: Exact was capped at 5M candidate sets at this scale.");
+    }
+    if let Some(path) = write_json("fig3_4_similarity", &result) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,35 @@
+//! Reproduces Figure 9: the (simulated) Amazon Mechanical Turk user study comparing the
+//! six Table 1 problem instantiations by user preference.
+
+use tagdm_bench::report::{render_table, write_json};
+use tagdm_bench::user_study::{run, StudyConfig};
+
+fn main() {
+    let config = StudyConfig::default();
+    let result = run(config);
+    let rows: Vec<Vec<String>> = (1..=6)
+        .map(|pid| {
+            let pct = result.percentages[pid - 1];
+            vec![
+                format!("Problem {pid}"),
+                format!("{:.1}%", pct),
+                "#".repeat((pct / 2.0).round() as usize),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Figure 9 — simulated user study ({} judges x {} queries = {} votes)",
+                config.num_judges, config.num_queries, result.total_votes
+            ),
+            &["problem", "preference", ""],
+            &rows
+        )
+    );
+    println!("ranking (most preferred first): {:?}", result.ranking());
+    if let Some(path) = write_json("fig9_user_study", &result) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! Reproduces Table 2: which algorithm family serves which optimization criterion and
+//! how each handles similarity / diversity constraints.
+
+use tagdm_bench::experiments::tables;
+use tagdm_bench::report::write_json;
+use tagdm_core::solvers::solution_summary;
+
+fn main() {
+    println!("{}", tables::render_table_2());
+    if let Some(path) = write_json("table2_solutions", &solution_summary()) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,15 @@
+//! The per-figure experiments of the paper's evaluation (Section 6).
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`tag_clouds`] | Figures 1–2 (group tag signatures / tag clouds) |
+//! | [`tables`] | Tables 1–2 (problem instantiations, solution summary) |
+//! | [`solver_comparison`] | Figures 3–4 (similarity problems) and 5–6 (diversity problems) |
+//! | [`scaling`] | Figures 7–8 (execution time / quality vs. corpus size) |
+//!
+//! The simulated user study of Figure 9 lives in [`crate::user_study`].
+
+pub mod scaling;
+pub mod solver_comparison;
+pub mod tables;
+pub mod tag_clouds;

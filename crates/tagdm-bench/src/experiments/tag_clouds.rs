@@ -1,0 +1,205 @@
+//! Figures 1–2: group tag signatures rendered as tag clouds.
+//!
+//! The paper motivates tag summarization with two frequency-based tag clouds over the
+//! movies of one director: one built from all users' tagging actions (Figure 1) and one
+//! restricted to users from California (Figure 2); the interesting signal is which tags
+//! are shared and which differ between the two. This experiment picks the most tagged
+//! director in the corpus and the most common user state, builds both signatures and
+//! reports the overlapping and distinctive tags.
+
+use serde::{Deserialize, Serialize};
+
+use tagdm_data::dataset::Dataset;
+use tagdm_data::group::{GroupId, TaggingActionGroup};
+use tagdm_data::predicate::ConjunctivePredicate;
+
+use crate::report::render_table;
+
+/// One weighted tag-cloud entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudEntry {
+    /// The tag text.
+    pub tag: String,
+    /// How many times the tag was applied within the group.
+    pub count: u32,
+}
+
+/// The two clouds plus their comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagCloudResult {
+    /// The director whose movies are analyzed.
+    pub director: String,
+    /// The user state used for the restricted cloud.
+    pub state: String,
+    /// Number of tagging actions behind each cloud.
+    pub all_users_actions: usize,
+    /// Number of tagging actions behind the state-restricted cloud.
+    pub state_actions: usize,
+    /// Figure 1: the tag signature over all users.
+    pub all_users_cloud: Vec<CloudEntry>,
+    /// Figure 2: the tag signature over users of `state` only.
+    pub state_cloud: Vec<CloudEntry>,
+    /// Tags prominent in both clouds.
+    pub shared_tags: Vec<String>,
+    /// Tags prominent for all users but absent from the state cloud (the paper's
+    /// "Noiva Nervosa is conspicuously absent" observation).
+    pub only_all_users: Vec<String>,
+    /// Tags prominent for the state's users but not overall (the paper's "classic,
+    /// psychiatry" observation).
+    pub only_state: Vec<String>,
+}
+
+impl TagCloudResult {
+    /// Render both clouds as aligned tables.
+    pub fn render(&self) -> String {
+        let to_rows = |cloud: &[CloudEntry]| {
+            cloud
+                .iter()
+                .map(|e| vec![e.tag.clone(), e.count.to_string()])
+                .collect::<Vec<_>>()
+        };
+        let mut out = render_table(
+            &format!(
+                "Figure 1 — tag signature for director `{}`, all users ({} actions)",
+                self.director, self.all_users_actions
+            ),
+            &["tag", "count"],
+            &to_rows(&self.all_users_cloud),
+        );
+        out.push('\n');
+        out.push_str(&render_table(
+            &format!(
+                "Figure 2 — tag signature for director `{}`, users from `{}` ({} actions)",
+                self.director, self.state, self.state_actions
+            ),
+            &["tag", "count"],
+            &to_rows(&self.state_cloud),
+        ));
+        out.push_str(&format!(
+            "\nshared: {}\nonly all users: {}\nonly {}: {}\n",
+            self.shared_tags.join(", "),
+            self.only_all_users.join(", "),
+            self.state,
+            self.only_state.join(", ")
+        ));
+        out
+    }
+}
+
+/// The most frequent value of an item attribute among tagging actions.
+fn most_tagged_value(dataset: &Dataset, dimension: &str, attribute: &str) -> Option<String> {
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (_, action) in dataset.actions() {
+        let (schema, values) = if dimension == "item" {
+            (&dataset.item_schema, &dataset.item(action.item).values)
+        } else {
+            (&dataset.user_schema, &dataset.user(action.user).values)
+        };
+        let attr = schema.attribute_id(attribute)?;
+        let value = values[attr.0 as usize];
+        let name = schema.attribute(attr).value_name(value)?.to_string();
+        *counts.entry(name).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|(_, c)| *c)
+        .map(|(name, _)| name)
+}
+
+/// Build the two clouds for the corpus' most tagged director and most active user state.
+pub fn run(dataset: &Dataset, cloud_size: usize) -> Option<TagCloudResult> {
+    let director = most_tagged_value(dataset, "item", "director")?;
+    let state = most_tagged_value(dataset, "user", "state")?;
+
+    let all_pred = ConjunctivePredicate::parse(dataset, &[("item", "director", &director)]).ok()?;
+    let state_pred = ConjunctivePredicate::parse(
+        dataset,
+        &[("item", "director", &director), ("user", "state", &state)],
+    )
+    .ok()?;
+
+    let all_group = TaggingActionGroup::from_predicate(GroupId(0), dataset, all_pred);
+    let state_group = TaggingActionGroup::from_predicate(GroupId(1), dataset, state_pred);
+
+    let to_cloud = |group: &TaggingActionGroup| -> Vec<CloudEntry> {
+        group
+            .top_tags(cloud_size)
+            .into_iter()
+            .map(|(t, c)| CloudEntry {
+                tag: dataset.tags.name(t).unwrap_or("<unknown>").to_string(),
+                count: c,
+            })
+            .collect()
+    };
+    let all_cloud = to_cloud(&all_group);
+    let state_cloud = to_cloud(&state_group);
+
+    let all_set: std::collections::HashSet<&str> =
+        all_cloud.iter().map(|e| e.tag.as_str()).collect();
+    let state_set: std::collections::HashSet<&str> =
+        state_cloud.iter().map(|e| e.tag.as_str()).collect();
+    let shared_tags: Vec<String> = all_cloud
+        .iter()
+        .filter(|e| state_set.contains(e.tag.as_str()))
+        .map(|e| e.tag.clone())
+        .collect();
+    let only_all_users: Vec<String> = all_cloud
+        .iter()
+        .filter(|e| !state_set.contains(e.tag.as_str()))
+        .map(|e| e.tag.clone())
+        .collect();
+    let only_state: Vec<String> = state_cloud
+        .iter()
+        .filter(|e| !all_set.contains(e.tag.as_str()))
+        .map(|e| e.tag.clone())
+        .collect();
+
+    Some(TagCloudResult {
+        director,
+        state,
+        all_users_actions: all_group.len(),
+        state_actions: state_group.len(),
+        all_users_cloud: all_cloud,
+        state_cloud,
+        shared_tags,
+        only_all_users,
+        only_state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdm_data::generator::{GeneratorConfig, MovieLensStyleGenerator};
+
+    #[test]
+    fn clouds_are_built_for_the_busiest_director_and_state() {
+        let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+        let result = run(&dataset, 10).expect("small corpus always has a busiest director");
+        assert!(!result.director.is_empty());
+        assert!(!result.state.is_empty());
+        assert!(result.all_users_actions >= result.state_actions);
+        assert!(!result.all_users_cloud.is_empty());
+        assert!(result.all_users_cloud.len() <= 10);
+        // Counts are sorted descending.
+        assert!(result
+            .all_users_cloud
+            .windows(2)
+            .all(|w| w[0].count >= w[1].count));
+        // The comparison partitions the clouds.
+        assert_eq!(
+            result.shared_tags.len() + result.only_all_users.len(),
+            result.all_users_cloud.len()
+        );
+        let rendered = result.render();
+        assert!(rendered.contains("Figure 1"));
+        assert!(rendered.contains("Figure 2"));
+    }
+
+    #[test]
+    fn most_tagged_value_returns_none_for_unknown_attributes() {
+        let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+        assert!(most_tagged_value(&dataset, "item", "no_such_attribute").is_none());
+        assert!(most_tagged_value(&dataset, "user", "state").is_some());
+    }
+}

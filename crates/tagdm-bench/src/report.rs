@@ -1,0 +1,144 @@
+//! Plain-text table rendering and JSON result persistence for the experiment binaries.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Render an aligned plain-text table (header + rows) suitable for terminal output.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let format_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&format_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// The directory experiment JSON records are written to (`results/`, created on demand).
+/// Overridable through the `TAGDM_RESULTS_DIR` environment variable.
+pub fn results_dir() -> PathBuf {
+    std::env::var("TAGDM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Serialize an experiment record as pretty JSON into `results/<name>.json`. Returns the
+/// path written to. Failures to persist are reported but do not abort the experiment.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = results_dir();
+    if let Err(err) = fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(err) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {err}", path.display());
+                None
+            } else {
+                Some(path)
+            }
+        }
+        Err(err) => {
+            eprintln!("warning: could not serialize {name}: {err}");
+            None
+        }
+    }
+}
+
+/// Format a millisecond duration compactly (`12.3 ms`, `4.56 s`).
+pub fn format_ms(ms: f64) -> String {
+    if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else {
+        format!("{ms:.2} ms")
+    }
+}
+
+/// Format a ratio as `12.3x` (or `-` when the denominator is ~0).
+pub fn format_speedup(numerator_ms: f64, denominator_ms: f64) -> String {
+    if denominator_ms <= 1e-9 {
+        "-".to_string()
+    } else {
+        format!("{:.1}x", numerator_ms / denominator_ms)
+    }
+}
+
+/// Helper to check a JSON record exists for a given experiment (used by tests).
+pub fn json_exists(name: &str) -> bool {
+    results_dir().join(format!("{name}.json")).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let table = render_table(
+            "Demo",
+            &["solver", "time"],
+            &[
+                vec!["Exact".to_string(), "120 ms".to_string()],
+                vec!["SM-LSH-Fo".to_string(), "3 ms".to_string()],
+            ],
+        );
+        assert!(table.contains("Demo"));
+        assert!(table.contains("solver"));
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Columns align: "time" starts at the same offset in header and rows.
+        let offset = lines[1].find("time").unwrap();
+        assert_eq!(&lines[3][offset..offset + 3], "120");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_ms(12.344), "12.34 ms");
+        assert_eq!(format_ms(4560.0), "4.56 s");
+        assert_eq!(format_speedup(100.0, 10.0), "10.0x");
+        assert_eq!(format_speedup(100.0, 0.0), "-");
+    }
+
+    #[test]
+    fn json_written_to_overridden_directory() {
+        let dir = std::env::temp_dir().join(format!("tagdm_results_{}", std::process::id()));
+        std::env::set_var("TAGDM_RESULTS_DIR", &dir);
+        #[derive(Serialize)]
+        struct Record {
+            value: u32,
+        }
+        let path = write_json("unit_test_record", &Record { value: 7 }).unwrap();
+        assert!(path.exists());
+        assert!(json_exists("unit_test_record"));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("\"value\": 7"));
+        std::env::remove_var("TAGDM_RESULTS_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,254 @@
+//! The NP-completeness reduction of Theorem 1, as executable code.
+//!
+//! The paper proves the decision version of TagDM NP-complete by reducing the Complete
+//! Bipartite Subgraph problem (CBS) to it: given a bipartite graph `G′ = (V1, V2, E)`
+//! and sizes `n1 ≤ |V1|`, `n2 ≤ |V2|`, CBS asks whether there are subsets of `n1` left
+//! vertices and `n2` right vertices that are completely connected. The reduction builds
+//! a TagDM instance with one user per left vertex and one user attribute per right
+//! vertex; an attribute is set to the shared value `"1"` exactly when the corresponding
+//! edge exists and to a globally unique filler value otherwise, so two users can only
+//! agree on an attribute through real edges. A feasible TagDM answer of `n1` groups
+//! whose every pair shares at least `n2` attribute values then corresponds exactly to a
+//! complete bipartite subgraph.
+//!
+//! This module is not used by the mining pipeline; it exists so the complexity argument
+//! is testable: [`CbsInstance::tagdm_decision`] and the brute-force graph check
+//! [`CbsInstance::has_complete_bipartite_subgraph`] must agree on every instance.
+
+use tagdm_data::dataset::{Dataset, DatasetBuilder};
+use tagdm_data::group::GroupingScheme;
+use tagdm_data::schema::Schema;
+
+use crate::context::{MiningContext, SummarizerChoice};
+use crate::criteria::{Aggregator, MiningCriterion, TaggingDimension};
+use crate::functions::DualMiningFunction;
+use crate::problem::{ConstraintSpec, ObjectiveSpec, TagDmProblem};
+use crate::solvers::{ExactSolver, Solver};
+
+/// A Complete Bipartite Subgraph instance: a bipartite graph plus the requested sizes.
+#[derive(Debug, Clone)]
+pub struct CbsInstance {
+    /// `adjacency[i][j]` is true when left vertex `i` is connected to right vertex `j`.
+    pub adjacency: Vec<Vec<bool>>,
+    /// Requested number of left vertices `n1`.
+    pub n1: usize,
+    /// Requested number of right vertices `n2`.
+    pub n2: usize,
+}
+
+impl CbsInstance {
+    /// Create an instance; panics on ragged adjacency or out-of-range sizes.
+    pub fn new(adjacency: Vec<Vec<bool>>, n1: usize, n2: usize) -> Self {
+        let v2 = adjacency.first().map_or(0, Vec::len);
+        assert!(adjacency.iter().all(|row| row.len() == v2), "ragged adjacency matrix");
+        assert!(n1 >= 1 && n1 <= adjacency.len(), "n1 out of range");
+        assert!(n2 >= 1 && n2 <= v2.max(1), "n2 out of range");
+        CbsInstance { adjacency, n1, n2 }
+    }
+
+    /// Number of left vertices |V1|.
+    pub fn left(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of right vertices |V2|.
+    pub fn right(&self) -> usize {
+        self.adjacency.first().map_or(0, Vec::len)
+    }
+
+    /// Brute-force graph-side decision: does a complete bipartite subgraph `K_{n1,n2}`
+    /// exist? Exponential; for test-sized instances only.
+    pub fn has_complete_bipartite_subgraph(&self) -> bool {
+        let left: Vec<usize> = (0..self.left()).collect();
+        let mut chosen = Vec::with_capacity(self.n1);
+        self.search_left(&left, 0, &mut chosen)
+    }
+
+    fn search_left(&self, left: &[usize], start: usize, chosen: &mut Vec<usize>) -> bool {
+        if chosen.len() == self.n1 {
+            // Right vertices adjacent to every chosen left vertex.
+            let common = (0..self.right())
+                .filter(|&j| chosen.iter().all(|&i| self.adjacency[i][j]))
+                .count();
+            return common >= self.n2;
+        }
+        for idx in start..left.len() {
+            chosen.push(left[idx]);
+            if self.search_left(left, idx + 1, chosen) {
+                chosen.pop();
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+
+    /// Build the TagDM instance of the reduction: the dataset (one user per left vertex,
+    /// one attribute per right vertex, a single item and a single tag) and the decision
+    /// problem (exactly `n1` groups, support `n1`, every pair of groups sharing at least
+    /// `n2` attribute values).
+    pub fn reduce(&self) -> (Dataset, TagDmProblem) {
+        let v2 = self.right();
+        let attr_names: Vec<String> = (0..v2).map(|j| format!("a{j}")).collect();
+        let user_schema = Schema::with_attributes(attr_names.iter().map(String::as_str));
+        let item_schema = Schema::with_attributes(["item"]);
+        let mut builder = DatasetBuilder::new(user_schema, item_schema);
+
+        // Unique filler values: pick previously unassigned values from [2, |V1|·|V2|+1].
+        let mut next_unique = 2usize;
+        for (i, row) in self.adjacency.iter().enumerate() {
+            let values: Vec<String> = row
+                .iter()
+                .map(|&edge| {
+                    if edge {
+                        "1".to_string()
+                    } else {
+                        let v = next_unique;
+                        next_unique += 1;
+                        v.to_string()
+                    }
+                })
+                .collect();
+            let pairs: Vec<(&str, &str)> = attr_names
+                .iter()
+                .map(String::as_str)
+                .zip(values.iter().map(String::as_str))
+                .collect();
+            let user = builder.add_user(pairs).expect("schema matches");
+            if i == 0 {
+                builder.add_item([("item", "i")]).expect("single item");
+            }
+            builder
+                .add_action_str(user, tagdm_data::entity::ItemId(0), &["t"], None)
+                .expect("valid action");
+        }
+        let dataset = builder.build();
+
+        // Every pair of selected groups must share at least n2 of the |V2| attributes.
+        let pairwise_threshold = self.n2 as f64 / v2.max(1) as f64;
+        let problem = TagDmProblem::new(
+            format!("CBS reduction (n1={}, n2={})", self.n1, self.n2),
+            self.n1,
+            self.n1,
+        )
+        .with_min_groups(self.n1)
+        .with_constraint(ConstraintSpec {
+            function: DualMiningFunction::standard(
+                TaggingDimension::Users,
+                MiningCriterion::Similarity,
+            )
+            .with_aggregator(Aggregator::Min),
+            threshold: pairwise_threshold,
+        })
+        .with_objective(ObjectiveSpec::standard(
+            TaggingDimension::Tags,
+            MiningCriterion::Similarity,
+        ));
+        (dataset, problem)
+    }
+
+    /// Decide the instance *through* the TagDM side: run the reduction, enumerate one
+    /// describable group per user, and ask the exact solver whether a feasible set
+    /// exists. Must agree with [`Self::has_complete_bipartite_subgraph`].
+    pub fn tagdm_decision(&self) -> bool {
+        let (dataset, problem) = self.reduce();
+        let groups = GroupingScheme::all(&dataset).enumerate(&dataset);
+        let ctx = MiningContext::build(&dataset, groups, SummarizerChoice::Frequency);
+        let outcome = ExactSolver::new().solve(&ctx, &problem);
+        outcome.feasible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A graph that contains K_{2,2}: left {0, 1} both connected to right {0, 1}.
+    fn graph_with_k22() -> Vec<Vec<bool>> {
+        vec![
+            vec![true, true, false],
+            vec![true, true, true],
+            vec![false, true, false],
+        ]
+    }
+
+    /// A (near-)matching graph with no K_{2,2}.
+    fn graph_without_k22() -> Vec<Vec<bool>> {
+        vec![
+            vec![true, false, false],
+            vec![false, true, false],
+            vec![false, false, true],
+        ]
+    }
+
+    #[test]
+    fn graph_side_decision_is_correct() {
+        assert!(CbsInstance::new(graph_with_k22(), 2, 2).has_complete_bipartite_subgraph());
+        assert!(!CbsInstance::new(graph_without_k22(), 2, 2).has_complete_bipartite_subgraph());
+        assert!(CbsInstance::new(graph_without_k22(), 1, 1).has_complete_bipartite_subgraph());
+        assert!(!CbsInstance::new(graph_with_k22(), 3, 2).has_complete_bipartite_subgraph());
+    }
+
+    #[test]
+    fn reduction_builds_one_user_per_left_vertex_and_one_action_each() {
+        let instance = CbsInstance::new(graph_with_k22(), 2, 2);
+        let (dataset, problem) = instance.reduce();
+        assert_eq!(dataset.num_users(), 3);
+        assert_eq!(dataset.num_items(), 1);
+        assert_eq!(dataset.num_tags(), 1);
+        assert_eq!(dataset.num_actions(), 3);
+        assert_eq!(dataset.user_schema.arity(), 3);
+        problem.validate().unwrap();
+        assert_eq!(problem.min_groups, 2);
+        assert_eq!(problem.max_groups, 2);
+        assert_eq!(problem.min_support, 2);
+    }
+
+    #[test]
+    fn filler_values_never_collide() {
+        let instance = CbsInstance::new(graph_without_k22(), 2, 2);
+        let (dataset, _) = instance.reduce();
+        // Any two users share an attribute value only where both have a "1" (an edge).
+        for a in 0..dataset.num_users() {
+            for b in (a + 1)..dataset.num_users() {
+                let ua = &dataset.users[a].values;
+                let ub = &dataset.users[b].values;
+                for (attr, (va, vb)) in ua.iter().zip(ub.iter()).enumerate() {
+                    if va == vb {
+                        assert!(
+                            instance.adjacency[a][attr] && instance.adjacency[b][attr],
+                            "shared value without a shared edge"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tagdm_decision_agrees_with_the_graph_decision() {
+        // The reduction (like the paper's) is stated for n1 ≥ 2: with a single group
+        // there are no pairs for the similarity constraint to range over.
+        let cases = [
+            (graph_with_k22(), 2, 2),
+            (graph_without_k22(), 2, 2),
+            (graph_without_k22(), 2, 1),
+            (graph_with_k22(), 2, 1),
+            (graph_with_k22(), 3, 1),
+        ];
+        for (adj, n1, n2) in cases {
+            let instance = CbsInstance::new(adj, n1, n2);
+            assert_eq!(
+                instance.tagdm_decision(),
+                instance.has_complete_bipartite_subgraph(),
+                "reduction must preserve the answer (n1={n1}, n2={n2})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_adjacency_is_rejected() {
+        CbsInstance::new(vec![vec![true], vec![true, false]], 1, 1);
+    }
+}

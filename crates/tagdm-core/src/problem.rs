@@ -1,0 +1,401 @@
+//! The Tagging Behaviour Dual Mining problem (Definition 4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::MiningContext;
+use crate::criteria::{MiningCriterion, TaggingDimension};
+use crate::functions::DualMiningFunction;
+
+/// One hard constraint `c_i`: a dual mining function whose value over the candidate set
+/// must reach a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintSpec {
+    /// The constrained dual mining function.
+    pub function: DualMiningFunction,
+    /// The threshold `c_i.Th` the function value must reach (≥).
+    pub threshold: f64,
+}
+
+impl ConstraintSpec {
+    /// A constraint on the paper's standard function for the dimension/criterion pair.
+    pub fn standard(
+        dimension: TaggingDimension,
+        criterion: MiningCriterion,
+        threshold: f64,
+    ) -> Self {
+        ConstraintSpec {
+            function: DualMiningFunction::standard(dimension, criterion),
+            threshold,
+        }
+    }
+
+    /// Whether the candidate set satisfies this constraint.
+    pub fn satisfied(&self, ctx: &MiningContext, set: &[usize]) -> bool {
+        self.function.evaluate(ctx, set) + 1e-12 >= self.threshold
+    }
+
+    /// Whether a single *pair* satisfies the constraint's threshold — used when folding
+    /// constraints into greedy selection (DV-FDP-Fo, Section 5.3).
+    pub fn pair_satisfied(&self, ctx: &MiningContext, a: usize, b: usize) -> bool {
+        self.function.evaluate_pair(ctx, a, b) + 1e-12 >= self.threshold
+    }
+}
+
+/// One optimization criterion `o_j`: a dual mining function and its weight `o_j.Wt` in
+/// the (weighted-sum) optimization goal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSpec {
+    /// The maximized dual mining function.
+    pub function: DualMiningFunction,
+    /// The weight of this function in the overall goal.
+    pub weight: f64,
+}
+
+impl ObjectiveSpec {
+    /// A unit-weight objective on the paper's standard function for the pair.
+    pub fn standard(dimension: TaggingDimension, criterion: MiningCriterion) -> Self {
+        ObjectiveSpec {
+            function: DualMiningFunction::standard(dimension, criterion),
+            weight: 1.0,
+        }
+    }
+}
+
+/// A complete TagDM problem instance ⟨G, C, O⟩ (Definition 4): size bounds, the group
+/// support threshold, hard constraints and the weighted optimization goal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagDmProblem {
+    /// Human-readable name (e.g. `"Problem 2 (Table 1)"`).
+    pub name: String,
+    /// Lower bound `k_lo` on the number of returned groups.
+    pub min_groups: usize,
+    /// Upper bound `k_hi` (the paper's `k`) on the number of returned groups.
+    pub max_groups: usize,
+    /// Group support threshold `p` (absolute number of covered input tuples).
+    pub min_support: usize,
+    /// The hard constraints `C`.
+    pub constraints: Vec<ConstraintSpec>,
+    /// The optimization criteria `O`.
+    pub objectives: Vec<ObjectiveSpec>,
+}
+
+impl TagDmProblem {
+    /// Create a problem with `1 ≤ |G_opt| ≤ k` and the given support threshold, no
+    /// constraints and no objectives (add them with the builder methods).
+    pub fn new(name: impl Into<String>, k: usize, min_support: usize) -> Self {
+        TagDmProblem {
+            name: name.into(),
+            min_groups: 1,
+            max_groups: k,
+            min_support,
+            constraints: Vec::new(),
+            objectives: Vec::new(),
+        }
+    }
+
+    /// Add a hard constraint.
+    pub fn with_constraint(mut self, constraint: ConstraintSpec) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Add an optimization criterion.
+    pub fn with_objective(mut self, objective: ObjectiveSpec) -> Self {
+        self.objectives.push(objective);
+        self
+    }
+
+    /// Set the lower bound on the result-set size.
+    pub fn with_min_groups(mut self, min_groups: usize) -> Self {
+        self.min_groups = min_groups;
+        self
+    }
+
+    /// Basic well-formedness checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_groups == 0 {
+            return Err("k (max_groups) must be at least 1".into());
+        }
+        if self.min_groups == 0 || self.min_groups > self.max_groups {
+            return Err("min_groups must be in [1, max_groups]".into());
+        }
+        if self.objectives.is_empty() {
+            return Err("a TagDM problem needs at least one optimization criterion".into());
+        }
+        if self.objectives.iter().any(|o| o.weight <= 0.0) {
+            return Err("objective weights must be positive".into());
+        }
+        if self.constraints.iter().any(|c| !(0.0..=1.0).contains(&c.threshold)) {
+            return Err("constraint thresholds must lie in [0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// The optimization goal `Σ_j o_j.Wt × o_j.F(set)`.
+    pub fn objective(&self, ctx: &MiningContext, set: &[usize]) -> f64 {
+        self.objectives
+            .iter()
+            .map(|o| o.weight * o.function.evaluate(ctx, set))
+            .sum()
+    }
+
+    /// The pairwise contribution of the optimization goal for a single pair of groups —
+    /// the edge weight used by the facility-dispersion solvers.
+    pub fn pairwise_objective(&self, ctx: &MiningContext, a: usize, b: usize) -> f64 {
+        self.objectives
+            .iter()
+            .map(|o| o.weight * o.function.evaluate_pair(ctx, a, b))
+            .sum()
+    }
+
+    /// Whether the candidate set's size is within `[min_groups, max_groups]`.
+    pub fn size_ok(&self, len: usize) -> bool {
+        (self.min_groups..=self.max_groups).contains(&len)
+    }
+
+    /// Whether the candidate set's group support reaches `min_support`.
+    pub fn support_ok(&self, ctx: &MiningContext, set: &[usize]) -> bool {
+        ctx.support(set) >= self.min_support
+    }
+
+    /// Whether every hard constraint holds for the candidate set.
+    pub fn constraints_satisfied(&self, ctx: &MiningContext, set: &[usize]) -> bool {
+        self.constraints.iter().all(|c| c.satisfied(ctx, set))
+    }
+
+    /// Full feasibility: size bounds, support threshold and every hard constraint.
+    /// (Describability holds by construction — every candidate group is enumerated from
+    /// a conjunctive description.)
+    pub fn feasible(&self, ctx: &MiningContext, set: &[usize]) -> bool {
+        self.size_ok(set.len()) && self.support_ok(ctx, set) && self.constraints_satisfied(ctx, set)
+    }
+
+    /// The dimensions that appear in the optimization goal.
+    pub fn objective_dimensions(&self) -> Vec<TaggingDimension> {
+        let mut dims: Vec<TaggingDimension> =
+            self.objectives.iter().map(|o| o.function.dimension).collect();
+        dims.sort();
+        dims.dedup();
+        dims
+    }
+
+    /// Whether any objective asks for similarity (drives the choice of SM-LSH).
+    pub fn maximizes_similarity(&self) -> bool {
+        self.objectives
+            .iter()
+            .any(|o| o.function.criterion == MiningCriterion::Similarity)
+    }
+
+    /// Whether any objective asks for diversity (drives the choice of DV-FDP).
+    pub fn maximizes_diversity(&self) -> bool {
+        self.objectives
+            .iter()
+            .any(|o| o.function.criterion == MiningCriterion::Diversity)
+    }
+
+    /// The constraints whose criterion is similarity (the ones the folding variants can
+    /// fold into the hashed vector / greedy add test).
+    pub fn similarity_constraints(&self) -> impl Iterator<Item = &ConstraintSpec> {
+        self.constraints
+            .iter()
+            .filter(|c| c.function.criterion == MiningCriterion::Similarity)
+    }
+
+    /// The constraints whose criterion is diversity.
+    pub fn diversity_constraints(&self) -> impl Iterator<Item = &ConstraintSpec> {
+        self.constraints
+            .iter()
+            .filter(|c| c.function.criterion == MiningCriterion::Diversity)
+    }
+
+    /// One-line description of the problem shape, e.g.
+    /// `"C: users similarity ≥ 0.5, items diversity ≥ 0.5; O: tags similarity"`.
+    pub fn describe(&self) -> String {
+        let constraints: Vec<String> = self
+            .constraints
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {} >= {:.2}",
+                    c.function.dimension.name(),
+                    c.function.criterion.name(),
+                    c.threshold
+                )
+            })
+            .collect();
+        let objectives: Vec<String> = self
+            .objectives
+            .iter()
+            .map(|o| format!("{} {}", o.function.dimension.name(), o.function.criterion.name()))
+            .collect();
+        format!(
+            "k in [{}, {}], support >= {}; C: {}; O: {}",
+            self.min_groups,
+            self.max_groups,
+            self.min_support,
+            if constraints.is_empty() { "-".to_string() } else { constraints.join(", ") },
+            objectives.join(" + ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{MiningContext, SummarizerChoice};
+    use crate::criteria::PairwiseKind;
+    use tagdm_data::dataset::DatasetBuilder;
+    use tagdm_data::group::GroupingScheme;
+
+    fn ctx() -> MiningContext {
+        let mut b = DatasetBuilder::movielens_style();
+        let u0 = b
+            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .unwrap();
+        let u1 = b
+            .add_user([("gender", "female"), ("age", "35-44"), ("occupation", "artist"), ("state", "ca")])
+            .unwrap();
+        let i0 = b
+            .add_item([("genre", "comedy"), ("actor", "a"), ("director", "x")])
+            .unwrap();
+        let i1 = b
+            .add_item([("genre", "war"), ("actor", "b"), ("director", "y")])
+            .unwrap();
+        for _ in 0..3 {
+            b.add_action_str(u0, i0, &["funny", "light"], None).unwrap();
+            b.add_action_str(u1, i0, &["funny", "light"], None).unwrap();
+            b.add_action_str(u0, i1, &["gritty", "war"], None).unwrap();
+            b.add_action_str(u1, i1, &["war", "moving"], None).unwrap();
+        }
+        let ds = b.build();
+        let groups = GroupingScheme::over(&ds, &[("user", "gender"), ("item", "genre")])
+            .unwrap()
+            .enumerate(&ds);
+        MiningContext::build(&ds, groups, SummarizerChoice::Frequency)
+    }
+
+    fn sample_problem() -> TagDmProblem {
+        TagDmProblem::new("test", 3, 2)
+            .with_constraint(ConstraintSpec::standard(
+                TaggingDimension::Users,
+                MiningCriterion::Similarity,
+                0.2,
+            ))
+            .with_objective(ObjectiveSpec::standard(
+                TaggingDimension::Tags,
+                MiningCriterion::Similarity,
+            ))
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_and_rejects_malformed_problems() {
+        sample_problem().validate().unwrap();
+
+        let no_objective = TagDmProblem::new("bad", 2, 1);
+        assert!(no_objective.validate().is_err());
+
+        let mut zero_k = sample_problem();
+        zero_k.max_groups = 0;
+        assert!(zero_k.validate().is_err());
+
+        let mut bad_bounds = sample_problem();
+        bad_bounds.min_groups = 5;
+        assert!(bad_bounds.validate().is_err());
+
+        let mut bad_threshold = sample_problem();
+        bad_threshold.constraints[0].threshold = 1.5;
+        assert!(bad_threshold.validate().is_err());
+
+        let mut bad_weight = sample_problem();
+        bad_weight.objectives[0].weight = 0.0;
+        assert!(bad_weight.validate().is_err());
+    }
+
+    #[test]
+    fn objective_is_weighted_sum_of_function_values() {
+        let ctx = ctx();
+        let mut problem = sample_problem();
+        problem.objectives[0].weight = 2.0;
+        let set: Vec<usize> = (0..ctx.num_groups().min(3)).collect();
+        let raw = problem.objectives[0].function.evaluate(&ctx, &set);
+        assert!((problem.objective(&ctx, &set) - 2.0 * raw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_objective_matches_set_objective_for_pairs() {
+        let ctx = ctx();
+        let problem = sample_problem();
+        let pair = [0usize, 1];
+        assert!(
+            (problem.objective(&ctx, &pair) - problem.pairwise_objective(&ctx, 0, 1)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn feasibility_combines_size_support_and_constraints() {
+        let ctx = ctx();
+        let problem = sample_problem();
+        // Too many groups.
+        let too_big: Vec<usize> = (0..ctx.num_groups()).collect();
+        assert!(!problem.size_ok(too_big.len()) || too_big.len() <= 3);
+        // A pair of groups sharing the user side should satisfy the user-similarity
+        // constraint; find one.
+        let mut found_feasible = false;
+        for a in 0..ctx.num_groups() {
+            for b in (a + 1)..ctx.num_groups() {
+                let set = [a, b];
+                if problem.feasible(&ctx, &set) {
+                    found_feasible = true;
+                    assert!(problem.support_ok(&ctx, &set));
+                    assert!(problem.constraints_satisfied(&ctx, &set));
+                }
+            }
+        }
+        assert!(found_feasible, "at least one pair should be feasible");
+        // An infeasible support threshold rules everything out.
+        let mut strict = problem.clone();
+        strict.min_support = 10_000;
+        assert!(!strict.feasible(&ctx, &[0, 1]));
+    }
+
+    #[test]
+    fn criterion_helpers_classify_problems() {
+        let problem = sample_problem();
+        assert!(problem.maximizes_similarity());
+        assert!(!problem.maximizes_diversity());
+        assert_eq!(problem.objective_dimensions(), vec![TaggingDimension::Tags]);
+        assert_eq!(problem.similarity_constraints().count(), 1);
+        assert_eq!(problem.diversity_constraints().count(), 0);
+        let desc = problem.describe();
+        assert!(desc.contains("users similarity"));
+        assert!(desc.contains("tags similarity"));
+    }
+
+    #[test]
+    fn pair_satisfied_matches_set_constraint_for_pairs() {
+        let ctx = ctx();
+        let constraint = ConstraintSpec::standard(
+            TaggingDimension::Items,
+            MiningCriterion::Similarity,
+            0.3,
+        );
+        for a in 0..ctx.num_groups() {
+            for b in (a + 1)..ctx.num_groups() {
+                assert_eq!(
+                    constraint.pair_satisfied(&ctx, a, b),
+                    constraint.satisfied(&ctx, &[a, b])
+                );
+            }
+        }
+        // A Jaccard-kind constraint builds and evaluates too.
+        let jaccard = ConstraintSpec {
+            function: DualMiningFunction::standard(
+                TaggingDimension::Users,
+                MiningCriterion::Similarity,
+            )
+            .with_kind(PairwiseKind::ItemSetJaccard),
+            threshold: 0.0,
+        };
+        assert!(jaccard.satisfied(&ctx, &[0, 1]));
+    }
+}

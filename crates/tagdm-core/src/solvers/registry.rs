@@ -1,0 +1,150 @@
+//! The algorithm ↔ problem-shape map of Table 2.
+//!
+//! Table 2 of the paper summarizes which algorithm family handles which optimization
+//! criterion and how each deals with similarity and diversity constraints. The registry
+//! reproduces that table programmatically (the `table2_solutions` experiment binary
+//! prints it) and offers [`recommend`] to pick the paper-recommended solver for a given
+//! problem instance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::criteria::MiningCriterion;
+use crate::problem::TagDmProblem;
+use crate::solvers::{ConstraintMode, DvFdpSolver, SmLshSolver, Solver};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolutionRow {
+    /// The optimization criterion of the problem instance.
+    pub optimization: &'static str,
+    /// The algorithm family handling it.
+    pub algorithm: &'static str,
+    /// The kind of constraints present.
+    pub constraints: &'static str,
+    /// The additional technique applied to those constraints.
+    pub technique: &'static str,
+}
+
+/// The six rows of Table 2.
+pub fn solution_summary() -> Vec<SolutionRow> {
+    vec![
+        SolutionRow {
+            optimization: "similarity",
+            algorithm: "LSH based",
+            constraints: "similarity",
+            technique: "fold constraints",
+        },
+        SolutionRow {
+            optimization: "similarity",
+            algorithm: "LSH based",
+            constraints: "diversity",
+            technique: "filter constraints",
+        },
+        SolutionRow {
+            optimization: "similarity",
+            algorithm: "LSH based",
+            constraints: "similarity, diversity",
+            technique: "fold similarity constraints, filter diversity constraints",
+        },
+        SolutionRow {
+            optimization: "diversity",
+            algorithm: "FDP based",
+            constraints: "similarity",
+            technique: "fold constraints",
+        },
+        SolutionRow {
+            optimization: "diversity",
+            algorithm: "FDP based",
+            constraints: "diversity",
+            technique: "fold constraints",
+        },
+        SolutionRow {
+            optimization: "diversity",
+            algorithm: "FDP based",
+            constraints: "similarity, diversity",
+            technique: "fold constraints",
+        },
+    ]
+}
+
+/// The paper-recommended efficient solver for a problem instance: SM-LSH-Fo when the
+/// goal maximizes similarity, DV-FDP-Fo when it maximizes diversity. (Problems that mix
+/// both in the goal are served by DV-FDP, which optimizes an arbitrary pairwise
+/// objective.)
+pub fn recommend(problem: &TagDmProblem) -> Box<dyn Solver> {
+    let maximizes_similarity_only = problem.maximizes_similarity() && !problem.maximizes_diversity();
+    if maximizes_similarity_only {
+        Box::new(SmLshSolver::new(ConstraintMode::Fold))
+    } else {
+        Box::new(DvFdpSolver::new(ConstraintMode::Fold))
+    }
+}
+
+/// Name of the constraint-handling technique Table 2 prescribes for a problem.
+pub fn prescribed_technique(problem: &TagDmProblem) -> &'static str {
+    let has_sim = problem
+        .constraints
+        .iter()
+        .any(|c| c.function.criterion == MiningCriterion::Similarity);
+    let has_div = problem
+        .constraints
+        .iter()
+        .any(|c| c.function.criterion == MiningCriterion::Diversity);
+    let lsh = problem.maximizes_similarity() && !problem.maximizes_diversity();
+    match (lsh, has_sim, has_div) {
+        (_, false, false) => "no constraint handling needed",
+        (true, true, false) => "fold constraints",
+        (true, false, true) => "filter constraints",
+        (true, true, true) => "fold similarity constraints, filter diversity constraints",
+        (false, _, _) => "fold constraints",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{canonical_problems, problem_1, problem_4, ProblemParams};
+
+    #[test]
+    fn table_2_has_six_rows_split_between_families() {
+        let rows = solution_summary();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.iter().filter(|r| r.algorithm == "LSH based").count(), 3);
+        assert_eq!(rows.iter().filter(|r| r.algorithm == "FDP based").count(), 3);
+        assert!(rows.iter().all(|r| !r.technique.is_empty()));
+    }
+
+    #[test]
+    fn recommendation_matches_the_optimization_criterion() {
+        let params = ProblemParams::default();
+        assert_eq!(recommend(&problem_1(params)).name(), "SM-LSH-Fo");
+        assert_eq!(recommend(&problem_4(params)).name(), "DV-FDP-Fo");
+        for (i, problem) in canonical_problems(params).iter().enumerate() {
+            let name = recommend(problem).name();
+            if i < 3 {
+                assert!(name.starts_with("SM-LSH"), "problem {} -> {name}", i + 1);
+            } else {
+                assert!(name.starts_with("DV-FDP"), "problem {} -> {name}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn prescribed_techniques_cover_the_canonical_problems() {
+        let params = ProblemParams::default();
+        // Problem 1: LSH, both constraints similarity -> fold.
+        assert_eq!(prescribed_technique(&problem_1(params)), "fold constraints");
+        // Problem 3: LSH, user diversity + item similarity -> fold + filter.
+        let p3 = canonical_problems(params)[2].clone();
+        assert_eq!(
+            prescribed_technique(&p3),
+            "fold similarity constraints, filter diversity constraints"
+        );
+        // Problem 4 (FDP): fold.
+        assert_eq!(prescribed_technique(&problem_4(params)), "fold constraints");
+        // A constraint-free problem needs nothing.
+        let mut free = problem_1(params);
+        free.constraints.clear();
+        assert_eq!(prescribed_technique(&free), "no constraint handling needed");
+    }
+}

@@ -1,0 +1,282 @@
+//! The behavioural (generative) model behind the synthetic corpus.
+//!
+//! Tags are not sprinkled uniformly: the whole point of TagDM is that *who* tags *what*
+//! shapes *how* it is tagged. The generator therefore uses a small ground-truth topic
+//! model:
+//!
+//! * every **genre** has a distribution over `K` latent tag topics (a primary and a
+//!   secondary topic plus a uniform remainder), so movies of similar genres attract
+//!   similar tag topics;
+//! * every **demographic segment** (gender × age band) owns a *style topic* that is
+//!   mixed into whatever that segment tags, so demographically similar users use
+//!   similar tags and demographically diverse users diverge — exactly the patterns the
+//!   paper's case studies surface (e.g. teen males vs. teen females on action movies);
+//! * every **topic** has a long-tailed (Zipf) distribution over a preferentially owned
+//!   slice of the vocabulary plus a background distribution over all words.
+//!
+//! With `genre_topic_weight = 0.55` and `demographic_topic_weight = 0.25` (defaults),
+//! roughly 20% of tag draws come from the background distribution, producing the noisy
+//! long tail observed in real folksonomies.
+
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+
+use super::config::GeneratorConfig;
+
+/// Ground-truth tagging-behaviour model used to draw tags for each action.
+#[derive(Debug, Clone)]
+pub struct BehaviorModel {
+    num_topics: usize,
+    vocab_size: usize,
+    genre_topics: Vec<Vec<f64>>,
+    /// Style topic per (gender, age) segment, indexed by `gender * num_ages + age`.
+    segment_style_topic: Vec<usize>,
+    num_ages: usize,
+    genre_topic_weight: f64,
+    demographic_topic_weight: f64,
+    /// Words owned by each topic (word index lists, ascending — earlier = more frequent).
+    topic_words: Vec<Vec<u32>>,
+    word_zipf_exponent: f64,
+}
+
+impl BehaviorModel {
+    /// Build the model for a configuration (deterministic; no RNG involved — all
+    /// randomness happens at sampling time with the caller-provided RNG).
+    pub fn new(config: &GeneratorConfig, num_genres: usize, num_ages: usize) -> Self {
+        let k = config.num_topics;
+        // Genre → topic distribution: primary topic (weight .6), secondary (.25),
+        // remainder spread uniformly.
+        let mut genre_topics = Vec::with_capacity(num_genres);
+        for g in 0..num_genres {
+            let primary = g % k;
+            let secondary = (g + k / 2 + 1) % k;
+            let mut dist = vec![0.15 / k as f64; k];
+            dist[primary] += 0.60;
+            dist[secondary] += 0.25;
+            let norm: f64 = dist.iter().sum();
+            for w in &mut dist {
+                *w /= norm;
+            }
+            genre_topics.push(dist);
+        }
+
+        // (gender, age) segment → style topic. Spread segments across topics so that
+        // different demographics systematically prefer different topics.
+        let num_segments = 2 * num_ages;
+        let segment_style_topic = (0..num_segments)
+            .map(|s| (s * 7 + 3) % k)
+            .collect();
+
+        // Topic → owned words: word w is owned by topic (w mod K).
+        let mut topic_words = vec![Vec::new(); k];
+        for w in 0..config.vocab_size {
+            topic_words[w % k].push(w as u32);
+        }
+
+        BehaviorModel {
+            num_topics: k,
+            vocab_size: config.vocab_size,
+            genre_topics,
+            segment_style_topic,
+            num_ages,
+            genre_topic_weight: config.genre_topic_weight,
+            demographic_topic_weight: config.demographic_topic_weight,
+            topic_words,
+            word_zipf_exponent: config.zipf_exponent,
+        }
+    }
+
+    /// Number of latent topics.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// The style topic of a demographic segment.
+    pub fn style_topic(&self, gender_idx: usize, age_idx: usize) -> usize {
+        self.segment_style_topic[gender_idx * self.num_ages + age_idx]
+    }
+
+    /// The ground-truth topic distribution of a genre.
+    pub fn genre_topic_distribution(&self, genre_idx: usize) -> &[f64] {
+        &self.genre_topics[genre_idx]
+    }
+
+    /// Draw the latent topic for one tag occurrence of an action by a user in segment
+    /// `(gender_idx, age_idx)` on an item of genre `genre_idx`.
+    pub fn sample_topic<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        genre_idx: usize,
+        gender_idx: usize,
+        age_idx: usize,
+    ) -> usize {
+        let roll: f64 = rng.gen();
+        if roll < self.genre_topic_weight {
+            sample_categorical(rng, &self.genre_topics[genre_idx])
+        } else if roll < self.genre_topic_weight + self.demographic_topic_weight {
+            self.style_topic(gender_idx, age_idx)
+        } else {
+            rng.gen_range(0..self.num_topics)
+        }
+    }
+
+    /// Draw a concrete tag word for a topic: a Zipf draw over the topic's owned words
+    /// (head words of the vocabulary are head words of each topic).
+    pub fn sample_word<R: Rng + ?Sized>(&self, rng: &mut R, topic: usize) -> u32 {
+        let words = &self.topic_words[topic];
+        debug_assert!(!words.is_empty());
+        let zipf = Zipf::new(words.len() as u64, self.word_zipf_exponent)
+            .expect("zipf parameters are validated by GeneratorConfig");
+        let rank = zipf.sample(rng) as usize; // 1-based rank
+        words[(rank - 1).min(words.len() - 1)]
+    }
+
+    /// Draw the full tag set of one action: `count` distinct words from the action's
+    /// topic mixture (retrying duplicates a bounded number of times).
+    pub fn sample_tags<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        genre_idx: usize,
+        gender_idx: usize,
+        age_idx: usize,
+        count: usize,
+    ) -> Vec<u32> {
+        let mut tags: Vec<u32> = Vec::with_capacity(count);
+        let mut attempts = 0;
+        while tags.len() < count && attempts < count * 8 {
+            attempts += 1;
+            let topic = self.sample_topic(rng, genre_idx, gender_idx, age_idx);
+            let word = self.sample_word(rng, topic);
+            if !tags.contains(&word) {
+                tags.push(word);
+            }
+        }
+        if tags.is_empty() {
+            // Guarantee a non-empty tag set (datasets reject empty tag sets).
+            tags.push(self.sample_word(rng, 0));
+        }
+        tags
+    }
+
+    /// Vocabulary size the model draws from.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+}
+
+/// Sample an index from an (unnormalized is fine) categorical distribution.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut roll = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        roll -= w;
+        if roll <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Sample a 0-based index in `[0, n)` with Zipf-distributed popularity (index 0 is the
+/// most popular).
+pub fn sample_zipf_index<R: Rng + ?Sized>(rng: &mut R, n: usize, exponent: f64) -> usize {
+    debug_assert!(n > 0);
+    let zipf = Zipf::new(n as u64, exponent).expect("valid zipf parameters");
+    (zipf.sample(rng) as usize - 1).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> BehaviorModel {
+        BehaviorModel::new(&GeneratorConfig::small(), 6, 8)
+    }
+
+    #[test]
+    fn genre_topic_distributions_are_normalized() {
+        let m = model();
+        for g in 0..6 {
+            let dist = m.genre_topic_distribution(g);
+            let sum: f64 = dist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(dist.iter().all(|&w| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sample_tags_returns_requested_count_of_distinct_words() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tags = m.sample_tags(&mut rng, 0, 0, 1, 4);
+        assert!(!tags.is_empty());
+        assert!(tags.len() <= 4);
+        let mut dedup = tags.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), tags.len());
+        assert!(tags.iter().all(|&w| (w as usize) < m.vocab_size()));
+    }
+
+    #[test]
+    fn different_genres_skew_towards_different_topics() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(2);
+        let count_primary = |genre: usize, rng: &mut StdRng| {
+            let mut hits = 0;
+            for _ in 0..2000 {
+                // Use weights so that only the genre mixture matters.
+                let t = sample_categorical(rng, m.genre_topic_distribution(genre));
+                if t == genre % m.num_topics() {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        let g0 = count_primary(0, &mut rng);
+        assert!(g0 > 1000, "primary topic should dominate, got {g0}/2000");
+    }
+
+    #[test]
+    fn style_topics_differ_across_segments() {
+        let m = model();
+        let topics: std::collections::HashSet<usize> = (0..2)
+            .flat_map(|g| (0..8).map(move |a| (g, a)))
+            .map(|(g, a)| m.style_topic(g, a))
+            .collect();
+        assert!(topics.len() > 1, "segments should not all share one style topic");
+    }
+
+    #[test]
+    fn zipf_index_sampling_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100;
+        let mut counts = vec![0usize; n];
+        for _ in 0..20_000 {
+            let i = sample_zipf_index(&mut rng, n, 1.05);
+            assert!(i < n);
+            counts[i] += 1;
+        }
+        assert!(counts[0] > counts[n - 1]);
+        assert!(counts[0] > 20_000 / n, "head should be over-represented");
+    }
+
+    #[test]
+    fn categorical_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let weights = [0.0, 0.0, 1.0];
+        for _ in 0..100 {
+            assert_eq!(sample_categorical(&mut rng, &weights), 2);
+        }
+        let weights = [0.5, 0.5];
+        let mut zero = 0;
+        for _ in 0..1000 {
+            if sample_categorical(&mut rng, &weights) == 0 {
+                zero += 1;
+            }
+        }
+        assert!((300..700).contains(&zero));
+    }
+}

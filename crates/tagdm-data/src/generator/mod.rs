@@ -1,0 +1,29 @@
+//! Synthetic MovieLens-style corpus generation.
+//!
+//! The paper evaluates TagDM on a merge of the MovieLens 1M and 10M datasets joined
+//! with IMDB attributes: 33,322 tagging/rating actions by 2,320 users on 6,258 movies
+//! with a 64,663-tag vocabulary, user attributes ⟨gender, age, occupation, state⟩ and
+//! movie attributes ⟨genre, actor, director⟩ (Section 6). Those datasets are not
+//! redistributable here, so this module generates a corpus with the same schema, the
+//! same scale knobs and — crucially — a *behavioural* generative model in which
+//! demographically similar users genuinely do use similar tags for items of similar
+//! genres. The mining algorithms only ever see tagging-action tuples, so the substitute
+//! exercises the same code paths while preserving the structure the miners look for.
+//!
+//! The generative model (see [`behavior`]) is a small topic model:
+//!
+//! 1. every *genre* has a distribution over latent tag topics;
+//! 2. every *demographic segment* (gender × age band) has a style topic mixed in;
+//! 3. every topic has a long-tailed (Zipf) distribution over the tag vocabulary;
+//! 4. users, items and (user, item) tagging pairs are drawn with Zipf popularity so the
+//!    corpus exhibits the usual heavy-tailed activity distributions.
+
+mod behavior;
+mod config;
+mod movielens;
+mod pools;
+
+pub use behavior::BehaviorModel;
+pub use config::GeneratorConfig;
+pub use movielens::MovieLensStyleGenerator;
+pub use pools::ValuePools;

@@ -1,0 +1,292 @@
+//! The MovieLens-style corpus generator itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::entity::{ItemId, UserId};
+
+use super::behavior::{sample_categorical, sample_zipf_index, BehaviorModel};
+use super::config::GeneratorConfig;
+use super::pools::ValuePools;
+
+/// Generates a complete synthetic [`Dataset`] with MovieLens-style schemas and a
+/// behaviourally structured tag distribution (see the module documentation of
+/// [`generator`](crate::generator)).
+#[derive(Debug, Clone)]
+pub struct MovieLensStyleGenerator {
+    config: GeneratorConfig,
+}
+
+impl MovieLensStyleGenerator {
+    /// Create a generator; panics if the configuration is invalid (configurations built
+    /// through the provided presets are always valid).
+    pub fn new(config: GeneratorConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid generator configuration");
+        MovieLensStyleGenerator { config }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generate the corpus. Fully deterministic for a given configuration (including
+    /// its seed).
+    pub fn generate(&self) -> Dataset {
+        let config = &self.config;
+        let pools = ValuePools::from_config(config);
+        let model = BehaviorModel::new(config, pools.genres.len(), pools.ages.len());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut builder = DatasetBuilder::movielens_style();
+
+        // ---- users ------------------------------------------------------------------
+        // Gender is mildly imbalanced (as in MovieLens), age follows a unimodal
+        // distribution peaking at 25-34, occupation and state follow Zipf popularity.
+        let age_weights = [0.06, 0.18, 0.33, 0.20, 0.09, 0.07, 0.05, 0.02];
+        let mut user_profiles: Vec<(usize, usize)> = Vec::with_capacity(config.num_users);
+        for _ in 0..config.num_users {
+            let gender_idx = usize::from(rng.gen::<f64>() < 0.45); // 0 = male, 1 = female
+            let age_idx = sample_categorical(&mut rng, &age_weights[..pools.ages.len().min(8)]);
+            let occupation_idx = sample_zipf_index(&mut rng, pools.occupations.len(), 0.8);
+            let state_idx = sample_zipf_index(&mut rng, pools.states.len(), 0.9);
+            builder
+                .add_user([
+                    ("gender", pools.genders[gender_idx].as_str()),
+                    ("age", pools.ages[age_idx].as_str()),
+                    ("occupation", pools.occupations[occupation_idx].as_str()),
+                    ("state", pools.states[state_idx].as_str()),
+                ])
+                .expect("schema and pools are consistent");
+            user_profiles.push((gender_idx, age_idx));
+        }
+
+        // ---- items ------------------------------------------------------------------
+        // Each director and actor has a "home genre"; movies pick a genre by popularity
+        // and then a director/actor compatible with it, so item-attribute structure
+        // (genre ↔ director ↔ actor) is correlated as it is in a real catalogue.
+        let mut item_genres: Vec<usize> = Vec::with_capacity(config.num_items);
+        for _ in 0..config.num_items {
+            let genre_idx = sample_zipf_index(&mut rng, pools.genres.len(), 0.7);
+            let director_idx =
+                pick_compatible(&mut rng, pools.directors.len(), pools.genres.len(), genre_idx);
+            let actor_idx =
+                pick_compatible(&mut rng, pools.actors.len(), pools.genres.len(), genre_idx);
+            builder
+                .add_item([
+                    ("genre", pools.genres[genre_idx].as_str()),
+                    ("actor", pools.actors[actor_idx].as_str()),
+                    ("director", pools.directors[director_idx].as_str()),
+                ])
+                .expect("schema and pools are consistent");
+            item_genres.push(genre_idx);
+        }
+
+        // ---- tag vocabulary ---------------------------------------------------------
+        // Intern the whole vocabulary up front so tag ids equal word indices; the
+        // actions below then reference ids directly.
+        for word in &pools.tag_words {
+            builder.intern_tag(word);
+        }
+
+        // ---- tagging actions ---------------------------------------------------------
+        // Users and items are drawn with Zipf popularity; the number of tags per action
+        // is 1 + Binomial-ish around the configured mean; tag words come from the
+        // behavioural topic model; ratings are genre-quality plus user noise.
+        for _ in 0..config.num_actions {
+            let user_idx = sample_zipf_index(&mut rng, config.num_users, 0.8);
+            let item_idx = sample_zipf_index(&mut rng, config.num_items, 0.9);
+            let (gender_idx, age_idx) = user_profiles[user_idx];
+            let genre_idx = item_genres[item_idx];
+
+            let num_tags = sample_tag_count(&mut rng, config.mean_tags_per_action);
+            let words = model.sample_tags(&mut rng, genre_idx, gender_idx, age_idx, num_tags);
+            let tags = words
+                .into_iter()
+                .map(|w| crate::tag::TagId(w))
+                .collect::<Vec<_>>();
+
+            let rating = if rng.gen::<f64>() < config.rating_fraction {
+                Some(sample_rating(&mut rng, genre_idx, gender_idx))
+            } else {
+                None
+            };
+
+            builder
+                .add_action(crate::action::TaggingAction {
+                    user: UserId(user_idx as u32),
+                    item: ItemId(item_idx as u32),
+                    tags,
+                    rating,
+                })
+                .expect("generated actions reference valid entities");
+        }
+
+        builder.build()
+    }
+}
+
+/// Pick an index in `[0, pool_size)` whose home genre matches `genre_idx` with high
+/// probability (Zipf-popular within the compatible slice), falling back to a uniform
+/// draw 20% of the time so genres share some people.
+fn pick_compatible<R: Rng + ?Sized>(
+    rng: &mut R,
+    pool_size: usize,
+    num_genres: usize,
+    genre_idx: usize,
+) -> usize {
+    if pool_size == 0 {
+        return 0;
+    }
+    if rng.gen::<f64>() < 0.2 {
+        return rng.gen_range(0..pool_size);
+    }
+    // Members of the pool whose index ≡ genre_idx (mod num_genres) are "at home" in the
+    // genre. Sample a Zipf rank within that slice.
+    let slice_len = (pool_size + num_genres - 1 - genre_idx % num_genres) / num_genres;
+    let slice_len = slice_len.max(1);
+    let rank = sample_zipf_index(rng, slice_len, 1.0);
+    let candidate = genre_idx % num_genres + rank * num_genres;
+    candidate.min(pool_size - 1)
+}
+
+/// 1 + approximately-Poisson(mean - 1) number of tags, capped at 8.
+fn sample_tag_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    let extra_mean = (mean - 1.0).max(0.0);
+    // Knuth-style Poisson sampling is fine for small means.
+    let l = (-extra_mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k >= 7 {
+            break;
+        }
+        k += 1;
+    }
+    1 + k
+}
+
+/// Half-star ratings in [0.5, 5.0]: a genre-specific base quality, shifted by gender to
+/// create the taste differences the case studies look for, plus noise.
+fn sample_rating<R: Rng + ?Sized>(rng: &mut R, genre_idx: usize, gender_idx: usize) -> f32 {
+    let base = 3.0 + ((genre_idx % 5) as f64 - 2.0) * 0.3;
+    let direction = if gender_idx == 0 { 0.2 } else { -0.2 };
+    let gender_shift = direction * ((genre_idx % 3) as f64 - 1.0);
+    let noise: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+    let raw = (base + gender_shift + noise).clamp(0.5, 5.0);
+    ((raw * 2.0).round() / 2.0) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupingScheme;
+
+    #[test]
+    fn generated_corpus_matches_config_scale() {
+        let config = GeneratorConfig::small();
+        let ds = MovieLensStyleGenerator::new(config.clone()).generate();
+        assert_eq!(ds.num_users(), config.num_users);
+        assert_eq!(ds.num_items(), config.num_items);
+        assert_eq!(ds.num_actions(), config.num_actions);
+        assert_eq!(ds.num_tags(), config.vocab_size);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GeneratorConfig::small();
+        let a = MovieLensStyleGenerator::new(config.clone()).generate();
+        let b = MovieLensStyleGenerator::new(config).generate();
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.users, b.users);
+        assert_eq!(a.items, b.items);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MovieLensStyleGenerator::new(GeneratorConfig::small().with_seed(1)).generate();
+        let b = MovieLensStyleGenerator::new(GeneratorConfig::small().with_seed(2)).generate();
+        assert_ne!(a.actions, b.actions);
+    }
+
+    #[test]
+    fn tag_usage_has_a_long_tail() {
+        let ds = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+        let mut counts = vec![0usize; ds.num_tags()];
+        for (_, action) in ds.actions() {
+            for &t in &action.tags {
+                counts[t.0 as usize] += 1;
+            }
+        }
+        let used = counts.iter().filter(|&&c| c > 0).count();
+        let max = *counts.iter().max().unwrap();
+        let mean_used = counts.iter().filter(|&&c| c > 0).sum::<usize>() as f64 / used as f64;
+        // A genuinely skewed distribution: the most popular tag is used far more often
+        // than the average used tag.
+        assert!(max as f64 > 5.0 * mean_used, "max={max} mean={mean_used}");
+    }
+
+    #[test]
+    fn describable_groups_exist_at_paper_like_density() {
+        let ds = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+        let groups = GroupingScheme::all(&ds).min_group_size(2).enumerate(&ds);
+        assert!(
+            !groups.is_empty(),
+            "full-description groups with >=2 tuples should exist"
+        );
+        // Coarser groupings give denser groups.
+        let coarse = GroupingScheme::over(&ds, &[("user", "gender"), ("item", "genre")])
+            .unwrap()
+            .min_group_size(5)
+            .enumerate(&ds);
+        assert!(!coarse.is_empty());
+    }
+
+    #[test]
+    fn ratings_are_half_stars_in_range() {
+        let ds = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+        for (_, action) in ds.actions() {
+            let rating = action.rating.expect("rating_fraction is 1.0");
+            assert!((0.5..=5.0).contains(&rating));
+            let doubled = rating * 2.0;
+            assert!((doubled - doubled.round()).abs() < 1e-6, "half-star increments");
+        }
+    }
+
+    #[test]
+    fn demographics_shape_tag_choice() {
+        // Two demographic segments tagging the same genre should use measurably
+        // different tag distributions (this is the structure Problem 4/6 mines).
+        let ds = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+        let gender_attr = ds.user_schema.attribute_id("gender").unwrap();
+        let male = ds.user_schema.attribute(gender_attr).value_id("male").unwrap();
+
+        let mut male_counts = std::collections::HashMap::new();
+        let mut female_counts = std::collections::HashMap::new();
+        for (_, action) in ds.actions() {
+            let target = if ds.user(action.user).value(gender_attr) == male {
+                &mut male_counts
+            } else {
+                &mut female_counts
+            };
+            for &t in &action.tags {
+                *target.entry(t).or_insert(0usize) += 1;
+            }
+        }
+        // Cosine similarity between the two gender-level tag histograms should be well
+        // below 1 (they overlap via genre topics but diverge via style topics).
+        let dot: f64 = male_counts
+            .iter()
+            .filter_map(|(t, &c)| female_counts.get(t).map(|&c2| (c * c2) as f64))
+            .sum();
+        let na: f64 = male_counts.values().map(|&c| (c * c) as f64).sum::<f64>().sqrt();
+        let nb: f64 = female_counts.values().map(|&c| (c * c) as f64).sum::<f64>().sqrt();
+        let cosine = dot / (na * nb);
+        assert!(cosine < 0.999, "gender tag histograms should not be identical");
+        assert!(cosine > 0.1, "gender tag histograms should still overlap via genres");
+    }
+}

@@ -1,0 +1,186 @@
+//! Attribute value pools for the synthetic corpus.
+//!
+//! Gender, age ranges, the 21 MovieLens occupations and the 19 MovieLens genres are the
+//! real categorical domains from the dataset the paper uses; states, actors, directors
+//! and tag words are synthesized to the configured cardinalities.
+
+use super::config::GeneratorConfig;
+
+/// MovieLens age ranges (8 bands, as in Section 6 of the paper).
+pub const AGE_RANGES: [&str; 8] = [
+    "under 18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+", "unknown",
+];
+
+/// The 21 occupations listed by MovieLens.
+pub const OCCUPATIONS: [&str; 21] = [
+    "other", "academic", "artist", "clerical", "college student", "customer service",
+    "doctor", "executive", "farmer", "homemaker", "k-12 student", "lawyer", "programmer",
+    "retired", "sales", "scientist", "self-employed", "technician", "tradesman",
+    "unemployed", "writer",
+];
+
+/// The 19 MovieLens genres.
+pub const GENRES: [&str; 19] = [
+    "action", "adventure", "animation", "children", "comedy", "crime", "documentary",
+    "drama", "fantasy", "film-noir", "horror", "musical", "mystery", "romance", "sci-fi",
+    "thriller", "war", "western", "imax",
+];
+
+/// US state / location codes (50 states + DC + "foreign"), matching the paper's 52
+/// distinct location values derived from USPS zip codes.
+pub const STATES: [&str; 52] = [
+    "al", "ak", "az", "ar", "ca", "co", "ct", "de", "fl", "ga", "hi", "id", "il", "in",
+    "ia", "ks", "ky", "la", "me", "md", "ma", "mi", "mn", "ms", "mo", "mt", "ne", "nv",
+    "nh", "nj", "nm", "ny", "nc", "nd", "oh", "ok", "or", "pa", "ri", "sc", "sd", "tn",
+    "tx", "ut", "vt", "va", "wa", "wv", "wi", "wy", "dc", "foreign",
+];
+
+/// Syllables used to synthesize pronounceable surnames and tag words.
+const SYLLABLES: [&str; 24] = [
+    "an", "ber", "cor", "dan", "el", "fen", "gar", "hol", "is", "jor", "kel", "lan",
+    "mor", "nor", "ol", "per", "quin", "ros", "sten", "tor", "ul", "ver", "wil", "zan",
+];
+
+/// Tag-word stems combined with syllables to form a long-tail vocabulary that still
+/// reads like real folksonomy tags.
+const TAG_STEMS: [&str; 30] = [
+    "dark", "quirky", "epic", "slow", "gritty", "tense", "funny", "tragic", "cult",
+    "classic", "surreal", "romantic", "violent", "visual", "smart", "twist", "campy",
+    "moody", "stylish", "dreamy", "bleak", "uplifting", "satire", "noir", "retro",
+    "haunting", "minimal", "lush", "raw", "playful",
+];
+
+/// Concrete attribute-value pools instantiated from a [`GeneratorConfig`].
+#[derive(Debug, Clone)]
+pub struct ValuePools {
+    /// Gender values.
+    pub genders: Vec<String>,
+    /// Age-range values (at most 8).
+    pub ages: Vec<String>,
+    /// Occupation values.
+    pub occupations: Vec<String>,
+    /// Location values.
+    pub states: Vec<String>,
+    /// Genre values.
+    pub genres: Vec<String>,
+    /// Lead-actor values.
+    pub actors: Vec<String>,
+    /// Director values.
+    pub directors: Vec<String>,
+    /// Tag vocabulary words.
+    pub tag_words: Vec<String>,
+}
+
+impl ValuePools {
+    /// Build the pools for a configuration, truncating or synthesizing values to reach
+    /// the configured cardinalities.
+    pub fn from_config(config: &GeneratorConfig) -> Self {
+        ValuePools {
+            genders: vec!["male".to_string(), "female".to_string()],
+            ages: AGE_RANGES.iter().map(|s| s.to_string()).collect(),
+            occupations: take_or_synthesize(&OCCUPATIONS, config.num_occupations, "occupation"),
+            states: take_or_synthesize(&STATES, config.num_states, "region"),
+            genres: take_or_synthesize(&GENRES, config.num_genres, "genre"),
+            actors: synthesize_people(config.num_actors, 0xACE),
+            directors: synthesize_people(config.num_directors, 0xD12),
+            tag_words: synthesize_tags(config.vocab_size),
+        }
+    }
+}
+
+/// Use the first `count` real values; if more are requested than exist, pad with
+/// synthetic `prefix-N` values.
+fn take_or_synthesize(real: &[&str], count: usize, prefix: &str) -> Vec<String> {
+    let mut values: Vec<String> = real.iter().take(count).map(|s| s.to_string()).collect();
+    let mut next = values.len();
+    while values.len() < count {
+        values.push(format!("{prefix}-{next}"));
+        next += 1;
+    }
+    values
+}
+
+/// Deterministically synthesize `count` distinct person names ("c. bercor", ...).
+fn synthesize_people(count: usize, salt: u64) -> Vec<String> {
+    let mut names = Vec::with_capacity(count);
+    let initials = "abcdefghijklmnopqrstuvwxyz".as_bytes();
+    for i in 0..count {
+        let mix = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt);
+        let initial = initials[(mix % 26) as usize] as char;
+        let s1 = SYLLABLES[((mix >> 8) % SYLLABLES.len() as u64) as usize];
+        let s2 = SYLLABLES[((mix >> 16) % SYLLABLES.len() as u64) as usize];
+        names.push(format!("{initial}. {s1}{s2}-{i}"));
+    }
+    names
+}
+
+/// Deterministically synthesize `count` distinct tag words. The first |stems| words are
+/// bare stems (these become the high-frequency head of the Zipf distribution); the rest
+/// are stem+syllable(+index) compounds forming the long tail.
+fn synthesize_tags(count: usize) -> Vec<String> {
+    let mut words = Vec::with_capacity(count);
+    for i in 0..count {
+        if i < TAG_STEMS.len() {
+            words.push(TAG_STEMS[i].to_string());
+        } else {
+            let stem = TAG_STEMS[i % TAG_STEMS.len()];
+            let syl = SYLLABLES[(i / TAG_STEMS.len()) % SYLLABLES.len()];
+            let suffix = i / (TAG_STEMS.len() * SYLLABLES.len());
+            if suffix == 0 {
+                words.push(format!("{stem} {syl}"));
+            } else {
+                words.push(format!("{stem} {syl}{suffix}"));
+            }
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_match_configured_cardinalities() {
+        let config = GeneratorConfig::paper_scale();
+        let pools = ValuePools::from_config(&config);
+        assert_eq!(pools.genders.len(), 2);
+        assert_eq!(pools.ages.len(), 8);
+        assert_eq!(pools.occupations.len(), 21);
+        assert_eq!(pools.states.len(), 52);
+        assert_eq!(pools.genres.len(), 19);
+        assert_eq!(pools.actors.len(), 697);
+        assert_eq!(pools.directors.len(), 210);
+        assert_eq!(pools.tag_words.len(), 12_000);
+    }
+
+    #[test]
+    fn synthesized_values_are_distinct() {
+        let config = GeneratorConfig::paper_scale();
+        let pools = ValuePools::from_config(&config);
+        let distinct: HashSet<&String> = pools.tag_words.iter().collect();
+        assert_eq!(distinct.len(), pools.tag_words.len());
+        let distinct: HashSet<&String> = pools.actors.iter().collect();
+        assert_eq!(distinct.len(), pools.actors.len());
+        let distinct: HashSet<&String> = pools.directors.iter().collect();
+        assert_eq!(distinct.len(), pools.directors.len());
+    }
+
+    #[test]
+    fn oversized_requests_are_padded() {
+        let values = take_or_synthesize(&GENRES, 25, "genre");
+        assert_eq!(values.len(), 25);
+        let distinct: HashSet<&String> = values.iter().collect();
+        assert_eq!(distinct.len(), 25);
+    }
+
+    #[test]
+    fn pools_are_deterministic() {
+        let config = GeneratorConfig::medium();
+        let a = ValuePools::from_config(&config);
+        let b = ValuePools::from_config(&config);
+        assert_eq!(a.actors, b.actors);
+        assert_eq!(a.tag_words, b.tag_words);
+    }
+}

@@ -1,0 +1,397 @@
+//! Incremental maintenance of datasets and describable groups under updates.
+//!
+//! The paper's future-work section plans to "handle updates and insertions of new users,
+//! items and tags". This module provides that substrate: a log of [`DatasetUpdate`]s
+//! that can be applied to a [`Dataset`], and an [`IncrementalGrouping`] that keeps the
+//! describable-group enumeration of a [`GroupingScheme`](crate::group::GroupingScheme)
+//! in sync with appended tagging actions without re-scanning the corpus — each new
+//! action touches exactly one full-description group, so maintenance is `O(|attributes| +
+//! log)` per action. Re-enumerating from scratch and applying updates incrementally must
+//! produce identical groups; the tests verify exactly that equivalence.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::{ActionId, TaggingAction};
+use crate::dataset::Dataset;
+use crate::entity::{ItemId, UserId};
+use crate::error::DataError;
+use crate::group::{GroupId, GroupingScheme, TaggingActionGroup};
+use crate::predicate::{AtomicPredicate, ConjunctivePredicate, Dimension};
+use crate::schema::ValueId;
+
+/// One update to a tagging corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DatasetUpdate {
+    /// Register a new user described by `(attribute, value)` pairs.
+    AddUser {
+        /// Attribute/value pairs in any order, covering the whole user schema.
+        attributes: Vec<(String, String)>,
+    },
+    /// Register a new item described by `(attribute, value)` pairs.
+    AddItem {
+        /// Attribute/value pairs in any order, covering the whole item schema.
+        attributes: Vec<(String, String)>,
+    },
+    /// Append a tagging action for an existing user and item with tag strings (new tags
+    /// are interned into the vocabulary on the fly).
+    AddAction {
+        /// The tagging user.
+        user: UserId,
+        /// The tagged item.
+        item: ItemId,
+        /// The applied tags.
+        tags: Vec<String>,
+        /// Optional rating.
+        rating: Option<f32>,
+    },
+}
+
+/// The effect of applying one update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UpdateEffect {
+    /// A user was added with this id.
+    UserAdded(UserId),
+    /// An item was added with this id.
+    ItemAdded(ItemId),
+    /// An action was added with this id.
+    ActionAdded(ActionId),
+}
+
+/// Apply one update to a dataset in place, interning any new attribute values and tags.
+pub fn apply_update(dataset: &mut Dataset, update: &DatasetUpdate) -> Result<UpdateEffect, DataError> {
+    match update {
+        DatasetUpdate::AddUser { attributes } => {
+            let pairs: Vec<(&str, &str)> = attributes
+                .iter()
+                .map(|(a, v)| (a.as_str(), v.as_str()))
+                .collect();
+            let values = dataset.user_schema.intern_entity(pairs)?;
+            let id = UserId(dataset.users.len() as u32);
+            dataset.users.push(crate::entity::User { id, values });
+            Ok(UpdateEffect::UserAdded(id))
+        }
+        DatasetUpdate::AddItem { attributes } => {
+            let pairs: Vec<(&str, &str)> = attributes
+                .iter()
+                .map(|(a, v)| (a.as_str(), v.as_str()))
+                .collect();
+            let values = dataset.item_schema.intern_entity(pairs)?;
+            let id = ItemId(dataset.items.len() as u32);
+            dataset.items.push(crate::entity::Item { id, values });
+            Ok(UpdateEffect::ItemAdded(id))
+        }
+        DatasetUpdate::AddAction {
+            user,
+            item,
+            tags,
+            rating,
+        } => {
+            if user.0 as usize >= dataset.users.len() {
+                return Err(DataError::UnknownUser(user.0));
+            }
+            if item.0 as usize >= dataset.items.len() {
+                return Err(DataError::UnknownItem(item.0));
+            }
+            if tags.is_empty() {
+                return Err(DataError::EmptyTagSet);
+            }
+            let tag_ids = tags.iter().map(|t| dataset.tags.intern(t)).collect();
+            let id = ActionId(dataset.actions.len() as u32);
+            dataset.actions.push(TaggingAction {
+                user: *user,
+                item: *item,
+                tags: tag_ids,
+                rating: *rating,
+            });
+            Ok(UpdateEffect::ActionAdded(id))
+        }
+    }
+}
+
+/// Apply a whole update log, returning the effects in order. Stops at the first error.
+pub fn apply_updates(
+    dataset: &mut Dataset,
+    updates: &[DatasetUpdate],
+) -> Result<Vec<UpdateEffect>, DataError> {
+    updates.iter().map(|u| apply_update(dataset, u)).collect()
+}
+
+/// Incrementally maintained describable-group enumeration.
+///
+/// Groups are keyed by the grouping attributes' values, exactly like
+/// [`GroupingScheme::enumerate`]; the structure tracks *all* non-empty groups regardless
+/// of size and exposes [`IncrementalGrouping::groups`] with the same minimum-size filter
+/// as the batch enumeration, so the two stay interchangeable.
+#[derive(Debug, Clone)]
+pub struct IncrementalGrouping {
+    attributes: Vec<(Dimension, crate::schema::AttributeId)>,
+    min_group_size: usize,
+    /// Group key (grouping-attribute values) → member actions.
+    members: HashMap<Vec<u32>, Vec<ActionId>>,
+    actions_seen: usize,
+}
+
+impl IncrementalGrouping {
+    /// Build the grouping state from the scheme and the dataset's current actions.
+    pub fn new(scheme: &GroupingScheme, min_group_size: usize, dataset: &Dataset) -> Self {
+        let mut grouping = IncrementalGrouping {
+            attributes: scheme.attributes().to_vec(),
+            min_group_size: min_group_size.max(1),
+            members: HashMap::new(),
+            actions_seen: 0,
+        };
+        grouping.catch_up(dataset);
+        grouping
+    }
+
+    /// Number of actions already folded into the grouping.
+    pub fn actions_seen(&self) -> usize {
+        self.actions_seen
+    }
+
+    /// Number of non-empty group keys (before the minimum-size filter).
+    pub fn num_keys(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Fold every action the dataset has gained since the last call into the grouping.
+    /// Safe to call after any number of [`apply_update`] calls.
+    pub fn catch_up(&mut self, dataset: &Dataset) {
+        while self.actions_seen < dataset.num_actions() {
+            let id = ActionId(self.actions_seen as u32);
+            self.absorb(dataset, id);
+        }
+    }
+
+    /// Fold a single (already appended) action into the grouping.
+    pub fn absorb(&mut self, dataset: &Dataset, action_id: ActionId) {
+        let action = dataset.action(action_id);
+        let key: Vec<u32> = self
+            .attributes
+            .iter()
+            .map(|&(dim, attr)| match dim {
+                Dimension::User => dataset.user(action.user).value(attr).0,
+                Dimension::Item => dataset.item(action.item).value(attr).0,
+            })
+            .collect();
+        self.members.entry(key).or_default().push(action_id);
+        self.actions_seen = self.actions_seen.max(action_id.0 as usize + 1);
+    }
+
+    /// Materialize the current groups (those meeting the minimum size), with the same
+    /// deterministic ordering and ids as a fresh [`GroupingScheme::enumerate`].
+    pub fn groups(&self, dataset: &Dataset) -> Vec<TaggingActionGroup> {
+        let mut keys: Vec<&Vec<u32>> = self
+            .members
+            .iter()
+            .filter(|(_, actions)| actions.len() >= self.min_group_size)
+            .map(|(k, _)| k)
+            .collect();
+        keys.sort();
+        keys.iter()
+            .enumerate()
+            .map(|(idx, key)| {
+                let conditions: Vec<AtomicPredicate> = self
+                    .attributes
+                    .iter()
+                    .zip(key.iter())
+                    .map(|(&(dim, attr), &value)| AtomicPredicate {
+                        dimension: dim,
+                        attribute: attr,
+                        value: ValueId(value),
+                    })
+                    .collect();
+                TaggingActionGroup::from_actions(
+                    GroupId(idx as u32),
+                    ConjunctivePredicate::new(conditions),
+                    dataset,
+                    self.members[*key].clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::generator::{GeneratorConfig, MovieLensStyleGenerator};
+
+    fn base_dataset() -> Dataset {
+        let mut b = DatasetBuilder::movielens_style();
+        let u0 = b
+            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .unwrap();
+        let i0 = b
+            .add_item([("genre", "comedy"), ("actor", "a"), ("director", "x")])
+            .unwrap();
+        b.add_action_str(u0, i0, &["funny"], Some(4.0)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn add_user_item_action_updates_apply() {
+        let mut ds = base_dataset();
+        let effects = apply_updates(
+            &mut ds,
+            &[
+                DatasetUpdate::AddUser {
+                    attributes: vec![
+                        ("gender".into(), "female".into()),
+                        ("age".into(), "25-34".into()),
+                        ("occupation".into(), "artist".into()),
+                        ("state".into(), "ca".into()),
+                    ],
+                },
+                DatasetUpdate::AddItem {
+                    attributes: vec![
+                        ("genre".into(), "drama".into()),
+                        ("actor".into(), "b".into()),
+                        ("director".into(), "y".into()),
+                    ],
+                },
+                DatasetUpdate::AddAction {
+                    user: UserId(1),
+                    item: ItemId(1),
+                    tags: vec!["moving".into(), "slow".into()],
+                    rating: Some(3.5),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            effects,
+            vec![
+                UpdateEffect::UserAdded(UserId(1)),
+                UpdateEffect::ItemAdded(ItemId(1)),
+                UpdateEffect::ActionAdded(ActionId(1)),
+            ]
+        );
+        assert_eq!(ds.num_users(), 2);
+        assert_eq!(ds.num_items(), 2);
+        assert_eq!(ds.num_actions(), 2);
+        // New tags were interned into the vocabulary.
+        assert!(ds.tags.id("moving").is_some());
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected() {
+        let mut ds = base_dataset();
+        let err = apply_update(
+            &mut ds,
+            &DatasetUpdate::AddAction {
+                user: UserId(9),
+                item: ItemId(0),
+                tags: vec!["x".into()],
+                rating: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::UnknownUser(9)));
+
+        let err = apply_update(
+            &mut ds,
+            &DatasetUpdate::AddAction {
+                user: UserId(0),
+                item: ItemId(0),
+                tags: vec![],
+                rating: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::EmptyTagSet));
+
+        let err = apply_update(
+            &mut ds,
+            &DatasetUpdate::AddUser {
+                attributes: vec![("gender".into(), "male".into())],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn incremental_grouping_matches_batch_enumeration() {
+        // Start from a generated corpus, stream half of it through the incremental
+        // grouping, then append the rest as updates: the final groups must be identical
+        // to a fresh batch enumeration over the full corpus.
+        let full = MovieLensStyleGenerator::new(GeneratorConfig::small().with_actions(600)).generate();
+        let half = 300usize;
+        let mut streaming = Dataset {
+            user_schema: full.user_schema.clone(),
+            item_schema: full.item_schema.clone(),
+            users: full.users.clone(),
+            items: full.items.clone(),
+            tags: full.tags.clone(),
+            actions: full.actions[..half].to_vec(),
+        };
+
+        let scheme = GroupingScheme::over(&full, &[("user", "gender"), ("item", "genre")]).unwrap();
+        let mut incremental = IncrementalGrouping::new(&scheme, 2, &streaming);
+        assert_eq!(incremental.actions_seen(), half);
+
+        // Append the remaining actions one by one.
+        for action in &full.actions[half..] {
+            let effect = apply_update(
+                &mut streaming,
+                &DatasetUpdate::AddAction {
+                    user: action.user,
+                    item: action.item,
+                    tags: action
+                        .tags
+                        .iter()
+                        .map(|&t| full.tags.name(t).unwrap().to_string())
+                        .collect(),
+                    rating: action.rating,
+                },
+            )
+            .unwrap();
+            if let UpdateEffect::ActionAdded(id) = effect {
+                incremental.absorb(&streaming, id);
+            }
+        }
+        assert_eq!(streaming.num_actions(), full.num_actions());
+        assert_eq!(incremental.actions_seen(), full.num_actions());
+
+        let incremental_groups = incremental.groups(&streaming);
+        let batch_groups = GroupingScheme::over(&full, &[("user", "gender"), ("item", "genre")])
+            .unwrap()
+            .min_group_size(2)
+            .enumerate(&full);
+        assert_eq!(incremental_groups, batch_groups);
+    }
+
+    #[test]
+    fn catch_up_absorbs_everything_added_since_construction() {
+        let mut ds = MovieLensStyleGenerator::new(GeneratorConfig::small().with_actions(100)).generate();
+        let scheme = GroupingScheme::over(&ds, &[("item", "genre")]).unwrap();
+        let mut incremental = IncrementalGrouping::new(&scheme, 1, &ds);
+        let before_keys = incremental.num_keys();
+
+        // Append a burst of actions re-using existing users/items/tags.
+        let (num_users, num_items) = (ds.num_users() as u32, ds.num_items() as u32);
+        for k in 0..20u32 {
+            let update = DatasetUpdate::AddAction {
+                user: UserId(k % num_users),
+                item: ItemId(k % num_items),
+                tags: vec!["classic".into()],
+                rating: None,
+            };
+            apply_update(&mut ds, &update).unwrap();
+        }
+        incremental.catch_up(&ds);
+        assert_eq!(incremental.actions_seen(), ds.num_actions());
+        assert!(incremental.num_keys() >= before_keys);
+
+        let batch = GroupingScheme::over(&ds, &[("item", "genre")])
+            .unwrap()
+            .min_group_size(1)
+            .enumerate(&ds);
+        assert_eq!(incremental.groups(&ds), batch);
+    }
+}

@@ -1,0 +1,337 @@
+//! Attribute schemas with interned categorical values.
+//!
+//! The paper represents each user (and item) as a vector of attribute values conforming
+//! to a *user schema* `S_U = ⟨a_1, a_2, …⟩` (resp. *item schema* `S_I`). All attributes
+//! in the evaluation are categorical (gender, age range, occupation, state, genre,
+//! actor, director), so we intern every value into a compact [`ValueId`] per attribute.
+//! This keeps entities and group descriptions small and makes structural comparisons
+//! (the paper's `sim(v1, v2)` over shared attributes) cheap integer comparisons.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+
+/// Index of an attribute within a [`Schema`] (position in the schema's attribute list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttributeId(pub u16);
+
+/// Interned identifier of a categorical value within one attribute's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ValueId(pub u32);
+
+/// One categorical attribute: a name plus its interned value domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributeDef {
+    name: String,
+    values: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, ValueId>,
+}
+
+impl AttributeDef {
+    /// Create an attribute with an initially empty domain.
+    pub fn new(name: impl Into<String>) -> Self {
+        AttributeDef {
+            name: name.into(),
+            values: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The attribute's name (e.g. `"gender"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct values in the attribute's domain.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Intern `value`, returning its [`ValueId`]. Re-interning an existing value returns
+    /// the previously assigned id.
+    pub fn intern(&mut self, value: impl AsRef<str>) -> ValueId {
+        let value = value.as_ref();
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), id);
+        id
+    }
+
+    /// Look up the id of an already-interned value.
+    pub fn value_id(&self, value: &str) -> Option<ValueId> {
+        self.index.get(value).copied()
+    }
+
+    /// The string form of an interned value.
+    pub fn value_name(&self, id: ValueId) -> Option<&str> {
+        self.values.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Iterate over `(ValueId, &str)` pairs of the domain in interning order.
+    pub fn values(&self) -> impl Iterator<Item = (ValueId, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ValueId(i as u32), v.as_str()))
+    }
+
+    /// Rebuild the `value -> id` index after deserialization (the index is not stored).
+    fn rebuild_index(&mut self) {
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), ValueId(i as u32)))
+            .collect();
+    }
+}
+
+/// A schema: an ordered list of categorical attributes.
+///
+/// The same type is used for the user schema `S_U` and the item schema `S_I`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<AttributeDef>,
+    #[serde(skip)]
+    by_name: HashMap<String, AttributeId>,
+}
+
+impl Schema {
+    /// Create an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Create a schema from a list of attribute names (empty domains).
+    pub fn with_attributes<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut schema = Schema::new();
+        for name in names {
+            schema.add_attribute(name);
+        }
+        schema
+    }
+
+    /// Add an attribute and return its [`AttributeId`]. Adding an attribute that already
+    /// exists returns the existing id.
+    pub fn add_attribute(&mut self, name: impl Into<String>) -> AttributeId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = AttributeId(self.attributes.len() as u16);
+        self.by_name.insert(name.clone(), id);
+        self.attributes.push(AttributeDef::new(name));
+        id
+    }
+
+    /// Number of attributes in the schema.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Look up an attribute by name.
+    pub fn attribute_id(&self, name: &str) -> Option<AttributeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Attribute definition by id.
+    pub fn attribute(&self, id: AttributeId) -> &AttributeDef {
+        &self.attributes[id.0 as usize]
+    }
+
+    /// Mutable attribute definition by id (used by builders to intern values).
+    pub fn attribute_mut(&mut self, id: AttributeId) -> &mut AttributeDef {
+        &mut self.attributes[id.0 as usize]
+    }
+
+    /// Iterate over `(AttributeId, &AttributeDef)` in schema order.
+    pub fn attributes(&self) -> impl Iterator<Item = (AttributeId, &AttributeDef)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttributeId(i as u16), a))
+    }
+
+    /// Intern `value` in the domain of the attribute called `name`.
+    pub fn intern_value(&mut self, name: &str, value: &str) -> Result<ValueId, DataError> {
+        let id = self
+            .attribute_id(name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))?;
+        Ok(self.attribute_mut(id).intern(value))
+    }
+
+    /// Resolve an `(attribute name, value)` pair into ids, failing if either is unknown.
+    pub fn resolve(&self, name: &str, value: &str) -> Result<(AttributeId, ValueId), DataError> {
+        let attr = self
+            .attribute_id(name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))?;
+        let value_id = self.attribute(attr).value_id(value).ok_or_else(|| DataError::UnknownValue {
+            attribute: name.to_string(),
+            value: value.to_string(),
+        })?;
+        Ok((attr, value_id))
+    }
+
+    /// Intern a whole entity value vector given `(attribute name, value)` pairs in any
+    /// order; missing attributes are an error. Returns a value vector in schema order.
+    pub fn intern_entity<'a, I>(&mut self, pairs: I) -> Result<Vec<ValueId>, DataError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut out: Vec<Option<ValueId>> = vec![None; self.arity()];
+        for (name, value) in pairs {
+            let attr = self
+                .attribute_id(name)
+                .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))?;
+            let value_id = self.attribute_mut(attr).intern(value);
+            out[attr.0 as usize] = Some(value_id);
+        }
+        let provided = out.iter().filter(|v| v.is_some()).count();
+        if provided != self.arity() {
+            return Err(DataError::ArityMismatch {
+                entity: "entity",
+                expected: self.arity(),
+                got: provided,
+            });
+        }
+        Ok(out.into_iter().map(|v| v.expect("checked above")).collect())
+    }
+
+    /// Total number of `(attribute, value)` pairs across all domains. This is the length
+    /// of the "unarized" boolean vector used by the folding LSH variant (Section 4.3).
+    pub fn total_domain_size(&self) -> usize {
+        self.attributes.iter().map(|a| a.cardinality()).sum()
+    }
+
+    /// Offset of each attribute's value block inside the unarized boolean vector.
+    ///
+    /// `offsets()[a] + v` is the position of `(attribute a, value v)` in a concatenated
+    /// one-hot encoding of the whole schema.
+    pub fn unarization_offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.arity());
+        let mut acc = 0usize;
+        for attr in &self.attributes {
+            offsets.push(acc);
+            acc += attr.cardinality();
+        }
+        offsets
+    }
+
+    /// Rebuild indices after deserialization.
+    pub(crate) fn rebuild_indices(&mut self) {
+        self.by_name = self
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), AttributeId(i as u16)))
+            .collect();
+        for attr in &mut self.attributes {
+            attr.rebuild_index();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        let mut s = Schema::with_attributes(["gender", "age", "state"]);
+        s.intern_value("gender", "male").unwrap();
+        s.intern_value("gender", "female").unwrap();
+        s.intern_value("age", "18-24").unwrap();
+        s.intern_value("state", "ca").unwrap();
+        s.intern_value("state", "ny").unwrap();
+        s.intern_value("state", "tx").unwrap();
+        s
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut attr = AttributeDef::new("genre");
+        let a = attr.intern("comedy");
+        let b = attr.intern("drama");
+        let c = attr.intern("comedy");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(attr.cardinality(), 2);
+        assert_eq!(attr.value_name(a), Some("comedy"));
+    }
+
+    #[test]
+    fn schema_lookup_roundtrip() {
+        let schema = sample_schema();
+        assert_eq!(schema.arity(), 3);
+        let (attr, value) = schema.resolve("state", "ny").unwrap();
+        assert_eq!(schema.attribute(attr).name(), "state");
+        assert_eq!(schema.attribute(attr).value_name(value), Some("ny"));
+    }
+
+    #[test]
+    fn resolve_unknowns_fail() {
+        let schema = sample_schema();
+        assert!(matches!(
+            schema.resolve("city", "dallas"),
+            Err(DataError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            schema.resolve("state", "dallas"),
+            Err(DataError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn intern_entity_requires_all_attributes() {
+        let mut schema = sample_schema();
+        let values = schema
+            .intern_entity([("gender", "male"), ("age", "18-24"), ("state", "ca")])
+            .unwrap();
+        assert_eq!(values.len(), 3);
+
+        let err = schema.intern_entity([("gender", "male")]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn adding_existing_attribute_returns_same_id() {
+        let mut schema = Schema::new();
+        let a = schema.add_attribute("genre");
+        let b = schema.add_attribute("genre");
+        assert_eq!(a, b);
+        assert_eq!(schema.arity(), 1);
+    }
+
+    #[test]
+    fn unarization_offsets_partition_domain() {
+        let schema = sample_schema();
+        let offsets = schema.unarization_offsets();
+        assert_eq!(offsets, vec![0, 2, 3]);
+        assert_eq!(schema.total_domain_size(), 6);
+    }
+
+    #[test]
+    fn rebuild_indices_restores_lookup() {
+        let schema = sample_schema();
+        let json = serde_json::to_string(&schema).unwrap();
+        let mut restored: Schema = serde_json::from_str(&json).unwrap();
+        restored.rebuild_indices();
+        assert_eq!(restored.attribute_id("state"), schema.attribute_id("state"));
+        let (_, v) = restored.resolve("state", "tx").unwrap();
+        assert_eq!(restored.attribute(AttributeId(2)).value_name(v), Some("tx"));
+    }
+}

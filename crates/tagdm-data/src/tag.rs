@@ -1,0 +1,124 @@
+//! The tag vocabulary 𝒯: free-form tag strings interned as [`TagId`]s.
+//!
+//! Unlike user/item attributes, tags are drawn from a very large, long-tailed vocabulary
+//! (64,663 distinct tags in the paper's MovieLens corpus) and carry no schema, which is
+//! why the paper treats the tag dimension separately (Section 2.1.2).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Interned identifier of a tag in the vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TagId(pub u32);
+
+/// The global tag vocabulary 𝒯.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TagVocabulary {
+    tags: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, TagId>,
+}
+
+impl TagVocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        TagVocabulary::default()
+    }
+
+    /// Number of distinct tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Intern a tag string, returning its id; repeated interning is idempotent.
+    pub fn intern(&mut self, tag: impl AsRef<str>) -> TagId {
+        let tag = tag.as_ref();
+        if let Some(&id) = self.index.get(tag) {
+            return id;
+        }
+        let id = TagId(self.tags.len() as u32);
+        self.tags.push(tag.to_string());
+        self.index.insert(tag.to_string(), id);
+        id
+    }
+
+    /// Look up the id of an existing tag.
+    pub fn id(&self, tag: &str) -> Option<TagId> {
+        self.index.get(tag).copied()
+    }
+
+    /// String form of a tag id.
+    pub fn name(&self, id: TagId) -> Option<&str> {
+        self.tags.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Whether `id` is a valid tag id for this vocabulary.
+    pub fn contains(&self, id: TagId) -> bool {
+        (id.0 as usize) < self.tags.len()
+    }
+
+    /// Iterate over all `(TagId, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.tags
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TagId(i as u32), t.as_str()))
+    }
+
+    /// Rebuild the lookup index after deserialization.
+    pub(crate) fn rebuild_index(&mut self) {
+        self.index = self
+            .tags
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TagId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup_roundtrip() {
+        let mut vocab = TagVocabulary::new();
+        let a = vocab.intern("dark comedy");
+        let b = vocab.intern("dystopia");
+        let a2 = vocab.intern("dark comedy");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(vocab.len(), 2);
+        assert_eq!(vocab.id("dystopia"), Some(b));
+        assert_eq!(vocab.name(a), Some("dark comedy"));
+        assert!(vocab.contains(b));
+        assert!(!vocab.contains(TagId(99)));
+    }
+
+    #[test]
+    fn iteration_preserves_interning_order() {
+        let mut vocab = TagVocabulary::new();
+        vocab.intern("one");
+        vocab.intern("two");
+        vocab.intern("three");
+        let names: Vec<&str> = vocab.iter().map(|(_, t)| t).collect();
+        assert_eq!(names, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn rebuild_index_after_serde() {
+        let mut vocab = TagVocabulary::new();
+        vocab.intern("classic");
+        vocab.intern("psychiatry");
+        let json = serde_json::to_string(&vocab).unwrap();
+        let mut restored: TagVocabulary = serde_json::from_str(&json).unwrap();
+        restored.rebuild_index();
+        assert_eq!(restored.id("psychiatry"), vocab.id("psychiatry"));
+    }
+}

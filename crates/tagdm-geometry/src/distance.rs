@@ -1,0 +1,195 @@
+//! Symmetric pairwise distance matrices and subset scoring.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric `n × n` matrix of non-negative pairwise distances with zero diagonal,
+/// stored as a packed lower triangle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Packed strict lower triangle, row-major: entry `(i, j)` with `i > j` lives at
+    /// `i * (i - 1) / 2 + j`.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Build an `n × n` matrix by evaluating `dist(i, j)` for every pair `i > j`.
+    /// Negative or non-finite distances are clamped to 0.
+    pub fn from_fn(n: usize, mut dist: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 1..n {
+            for j in 0..i {
+                let d = dist(i, j);
+                data.push(if d.is_finite() && d > 0.0 { d } else { 0.0 });
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is over zero points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance between points `i` and `j` (0 when `i == j`).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        self.data[hi * (hi - 1) / 2 + lo]
+    }
+
+    /// The pair of points with the largest distance, together with that distance.
+    /// Returns `None` for fewer than two points.
+    pub fn max_pair(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 1..self.n {
+            for j in 0..i {
+                let d = self.get(i, j);
+                if best.map_or(true, |(_, _, bd)| d > bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Sum of pairwise distances within `subset`.
+    pub fn subset_sum(&self, subset: &[usize]) -> f64 {
+        let mut acc = 0.0;
+        for (a, &i) in subset.iter().enumerate() {
+            for &j in subset.iter().skip(a + 1) {
+                acc += self.get(i, j);
+            }
+        }
+        acc
+    }
+
+    /// Average pairwise distance within `subset` (0 for fewer than two points). This is
+    /// the MAX-AVG dispersion objective and the quality measure reported in the paper's
+    /// Figures 4, 6 and 8 (there as average pairwise similarity).
+    pub fn subset_average(&self, subset: &[usize]) -> f64 {
+        let pairs = subset.len() * subset.len().saturating_sub(1) / 2;
+        if pairs == 0 {
+            0.0
+        } else {
+            self.subset_sum(subset) / pairs as f64
+        }
+    }
+
+    /// Minimum pairwise distance within `subset` (infinity for fewer than two points).
+    /// This is the MAX-MIN dispersion objective.
+    pub fn subset_min(&self, subset: &[usize]) -> f64 {
+        let mut min = f64::INFINITY;
+        for (a, &i) in subset.iter().enumerate() {
+            for &j in subset.iter().skip(a + 1) {
+                min = min.min(self.get(i, j));
+            }
+        }
+        min
+    }
+
+    /// Sum of distances from point `p` to every point in `subset`.
+    pub fn distance_to_set(&self, p: usize, subset: &[usize]) -> f64 {
+        subset.iter().map(|&s| self.get(p, s)).sum()
+    }
+
+    /// Largest violation of the triangle inequality across all ordered triples
+    /// (0 means the matrix is a metric up to floating-point error). Quadratic–cubic in
+    /// `n`; intended for tests and diagnostics, not hot paths.
+    pub fn max_triangle_violation(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    let violation = self.get(i, j) - (self.get(i, k) + self.get(k, j));
+                    worst = worst.max(violation);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line_metric(points: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn get_is_symmetric_with_zero_diagonal() {
+        let m = line_metric(&[0.0, 1.0, 3.0, 7.0]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.get(0, 3), 7.0);
+        assert_eq!(m.get(3, 0), 7.0);
+        assert_eq!(m.get(1, 2), 2.0);
+    }
+
+    #[test]
+    fn max_pair_finds_the_diameter() {
+        let m = line_metric(&[0.0, 1.0, 3.0, 7.0]);
+        let (i, j, d) = m.max_pair().unwrap();
+        assert_eq!(d, 7.0);
+        assert_eq!((i.min(j), i.max(j)), (0, 3));
+        assert!(line_metric(&[1.0]).max_pair().is_none());
+    }
+
+    #[test]
+    fn subset_scores() {
+        let m = line_metric(&[0.0, 1.0, 3.0]);
+        let all = [0usize, 1, 2];
+        assert!((m.subset_sum(&all) - (1.0 + 3.0 + 2.0)).abs() < 1e-12);
+        assert!((m.subset_average(&all) - 2.0).abs() < 1e-12);
+        assert_eq!(m.subset_min(&all), 1.0);
+        assert_eq!(m.subset_average(&[0]), 0.0);
+        assert_eq!(m.subset_min(&[0]), f64::INFINITY);
+        assert!((m.distance_to_set(2, &[0, 1]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_distances_are_clamped() {
+        let m = DistanceMatrix::from_fn(3, |i, j| if (i, j) == (1, 0) { -5.0 } else { f64::NAN });
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn line_metrics_satisfy_triangle_inequality() {
+        let m = line_metric(&[0.0, 0.5, 2.0, 2.5, 9.0]);
+        assert!(m.max_triangle_violation() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_packed_storage_matches_function(values in proptest::collection::vec(0.0f64..100.0, 2..12)) {
+            let m = line_metric(&values);
+            for i in 0..values.len() {
+                for j in 0..values.len() {
+                    let expected = (values[i] - values[j]).abs();
+                    prop_assert!((m.get(i, j) - expected).abs() < 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_subset_average_bounded_by_diameter(values in proptest::collection::vec(0.0f64..50.0, 3..10)) {
+            let m = line_metric(&values);
+            let all: Vec<usize> = (0..values.len()).collect();
+            let diameter = m.max_pair().unwrap().2;
+            prop_assert!(m.subset_average(&all) <= diameter + 1e-12);
+            prop_assert!(m.subset_min(&all) <= m.subset_average(&all) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! MinHash LSH for Jaccard similarity over id sets.
+//!
+//! The random-hyperplane scheme of [`hyperplane`](crate::hyperplane) serves the cosine
+//! similarity used on tag signature vectors. The *set-distance* comparison of Section
+//! 2.1.1 (the Jaccard overlap of the item sets tagged by two groups) calls for the
+//! classic MinHash family instead (Indyk–Motwani / Gionis et al., references [13] and
+//! [8] of the paper): the probability that two sets share a minimum under a random
+//! permutation equals their Jaccard similarity, so short MinHash signatures estimate
+//! Jaccard cheaply, and banding the signature rows yields an LSH index whose collision
+//! probability follows the familiar S-curve `1 − (1 − s^r)^b`.
+//!
+//! This module is used by the item-set ablation experiments; the paper's main pipeline
+//! only needs the cosine scheme.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A large Mersenne prime used by the universal hash functions.
+const PRIME: u64 = (1u64 << 61) - 1;
+
+/// A family of `k` MinHash functions over `u32` element ids.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    coefficients: Vec<(u64, u64)>,
+}
+
+impl MinHasher {
+    /// Draw `num_hashes` universal hash functions from the given seed.
+    pub fn new(num_hashes: usize, seed: u64) -> Self {
+        assert!(num_hashes > 0, "MinHash needs at least one hash function");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coefficients = (0..num_hashes)
+            .map(|_| (rng.gen_range(1..PRIME), rng.gen_range(0..PRIME)))
+            .collect();
+        MinHasher { coefficients }
+    }
+
+    /// Number of hash functions (signature length).
+    pub fn num_hashes(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The MinHash signature of a set of element ids. The empty set hashes to a
+    /// signature of `u64::MAX` sentinels (no element achieved any minimum).
+    pub fn signature(&self, set: &[u32]) -> Vec<u64> {
+        let mut signature = vec![u64::MAX; self.coefficients.len()];
+        for &element in set {
+            for (slot, &(a, b)) in signature.iter_mut().zip(self.coefficients.iter()) {
+                let h = (a.wrapping_mul(u64::from(element) + 1).wrapping_add(b)) % PRIME;
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        signature
+    }
+
+    /// Estimate the Jaccard similarity of two sets from their signatures: the fraction
+    /// of agreeing rows.
+    pub fn estimate_jaccard(a: &[u64], b: &[u64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "signatures must have equal length");
+        if a.is_empty() {
+            return 0.0;
+        }
+        let agreeing = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+        agreeing as f64 / a.len() as f64
+    }
+}
+
+/// Exact Jaccard similarity of two sorted, deduplicated id slices (the ground truth the
+/// MinHash estimate converges to).
+pub fn exact_jaccard(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let sa: std::collections::HashSet<u32> = a.iter().copied().collect();
+    let sb: std::collections::HashSet<u32> = b.iter().copied().collect();
+    let intersection = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - intersection;
+    intersection as f64 / union as f64
+}
+
+/// A banded MinHash LSH index: signatures are split into `bands` bands of `rows` rows
+/// each; two sets collide if any band matches exactly.
+#[derive(Debug, Clone)]
+pub struct MinHashIndex {
+    hasher: MinHasher,
+    bands: usize,
+    rows: usize,
+    /// One bucket map per band.
+    buckets: Vec<std::collections::HashMap<Vec<u64>, Vec<usize>>>,
+    num_items: usize,
+}
+
+impl MinHashIndex {
+    /// Build an index over `items` (each an id set) using `bands × rows` hash functions.
+    pub fn build<'a, I>(bands: usize, rows: usize, seed: u64, items: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        assert!(bands > 0 && rows > 0, "bands and rows must be positive");
+        let hasher = MinHasher::new(bands * rows, seed);
+        let mut buckets = vec![std::collections::HashMap::new(); bands];
+        let mut num_items = 0;
+        for (idx, set) in items.into_iter().enumerate() {
+            num_items = idx + 1;
+            let signature = hasher.signature(set);
+            for (band, bucket_map) in buckets.iter_mut().enumerate() {
+                let key = signature[band * rows..(band + 1) * rows].to_vec();
+                bucket_map.entry(key).or_insert_with(Vec::new).push(idx);
+            }
+        }
+        MinHashIndex {
+            hasher,
+            bands,
+            rows,
+            buckets,
+            num_items,
+        }
+    }
+
+    /// Number of indexed sets.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Candidate neighbours of a query set: every indexed set sharing at least one band.
+    pub fn query(&self, set: &[u32]) -> Vec<usize> {
+        let signature = self.hasher.signature(set);
+        let mut candidates: Vec<usize> = Vec::new();
+        for (band, bucket_map) in self.buckets.iter().enumerate() {
+            let key = signature[band * self.rows..(band + 1) * self.rows].to_vec();
+            if let Some(members) = bucket_map.get(&key) {
+                candidates.extend_from_slice(members);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+    }
+
+    /// The theoretical probability that two sets with Jaccard similarity `s` collide in
+    /// at least one band: `1 − (1 − s^rows)^bands`.
+    pub fn collision_probability(&self, jaccard: f64) -> f64 {
+        1.0 - (1.0 - jaccard.clamp(0.0, 1.0).powi(self.rows as i32)).powi(self.bands as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let hasher = MinHasher::new(64, 1);
+        let a = [1u32, 5, 9, 200];
+        let b = [200u32, 9, 5, 1]; // order must not matter
+        assert_eq!(hasher.signature(&a), hasher.signature(&b));
+        assert_eq!(MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b)), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_agree() {
+        let hasher = MinHasher::new(128, 2);
+        let a: Vec<u32> = (0..50).collect();
+        let b: Vec<u32> = (1000..1050).collect();
+        let estimate =
+            MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b));
+        assert!(estimate < 0.1, "disjoint sets estimated at {estimate}");
+        assert_eq!(exact_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn estimates_track_exact_jaccard() {
+        let hasher = MinHasher::new(256, 3);
+        // Overlapping ranges with known Jaccard 50/150 = 1/3.
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (50..150).collect();
+        let exact = exact_jaccard(&a, &b);
+        let estimate =
+            MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b));
+        assert!((exact - 1.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (estimate - exact).abs() < 0.12,
+            "estimate {estimate} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn empty_sets_are_handled() {
+        let hasher = MinHasher::new(16, 4);
+        let empty: [u32; 0] = [];
+        let sig = hasher.signature(&empty);
+        assert!(sig.iter().all(|&h| h == u64::MAX));
+        assert_eq!(exact_jaccard(&empty, &empty), 0.0);
+        assert_eq!(exact_jaccard(&empty, &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn banded_index_finds_similar_sets() {
+        let sets: Vec<Vec<u32>> = vec![
+            (0..40).collect(),
+            (0..40).map(|x| x + 2).collect(), // high overlap with set 0
+            (500..540).collect(),             // unrelated
+        ];
+        let index = MinHashIndex::build(8, 4, 7, sets.iter().map(|s| s.as_slice()));
+        assert_eq!(index.num_items(), 3);
+        let candidates = index.query(&sets[0]);
+        assert!(candidates.contains(&0));
+        assert!(candidates.contains(&1), "near-duplicate should collide in some band");
+        assert!(!candidates.contains(&2) || candidates.len() == 3);
+    }
+
+    #[test]
+    fn collision_probability_is_an_s_curve() {
+        let index = MinHashIndex::build(10, 5, 1, std::iter::empty::<&[u32]>());
+        let low = index.collision_probability(0.1);
+        let mid = index.collision_probability(0.6);
+        let high = index.collision_probability(0.95);
+        assert!(low < mid && mid < high);
+        assert!(low < 0.01);
+        assert!(high > 0.9);
+        assert_eq!(index.collision_probability(0.0), 0.0);
+        assert!((index.collision_probability(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_signature_lengths_panic() {
+        MinHasher::estimate_jaccard(&[1, 2], &[1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_estimate_is_within_tolerance_of_exact(
+            a in proptest::collection::hash_set(0u32..300, 5..60),
+            b in proptest::collection::hash_set(0u32..300, 5..60),
+        ) {
+            let a: Vec<u32> = a.into_iter().collect();
+            let b: Vec<u32> = b.into_iter().collect();
+            let hasher = MinHasher::new(256, 11);
+            let exact = exact_jaccard(&a, &b);
+            let estimate = MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b));
+            // 256 hashes give a standard error of about sqrt(s(1-s)/256) <= 0.032; allow 5 sigma.
+            prop_assert!((estimate - exact).abs() < 0.16, "estimate {estimate} vs exact {exact}");
+        }
+
+        #[test]
+        fn prop_subset_jaccard_is_ratio_of_sizes(
+            set in proptest::collection::hash_set(0u32..500, 10..80),
+            take in 1usize..10,
+        ) {
+            let full: Vec<u32> = set.into_iter().collect();
+            let part: Vec<u32> = full.iter().copied().take(full.len().min(take.max(1))).collect();
+            let expected = part.len() as f64 / full.len() as f64;
+            prop_assert!((exact_jaccard(&full, &part) - expected).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Quickstart: the worked examples of Section 2.2 of the paper, end to end.
+//!
+//! Builds a small MovieLens-style corpus, enumerates describable tagging-action groups,
+//! summarizes their tags with LDA and solves two canonical problems:
+//!
+//! * Problem 2 ("find similar user sub-populations who agree most on their tagging
+//!   behaviour for a diverse set of items"), solved by SM-LSH-Fo;
+//! * Problem 4 ("find diverse user sub-populations who disagree most on their tagging
+//!   behaviour for a similar set of items"), solved by DV-FDP-Fo.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use tagdm::prelude::*;
+use tagdm_core::evaluation::render_groups;
+
+fn main() {
+    // --- 1. Data -----------------------------------------------------------------
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+    let stats = dataset.stats();
+    println!(
+        "corpus: {} users, {} movies, {} tagging actions, {} distinct tags",
+        stats.num_users, stats.num_items, stats.num_actions, stats.vocabulary_size
+    );
+
+    // --- 2. Candidate groups and tag signatures ------------------------------------
+    let groups = GroupingScheme::over(
+        &dataset,
+        &[("user", "gender"), ("user", "age"), ("item", "genre")],
+    )
+    .expect("attributes exist")
+    .min_group_size(5)
+    .enumerate(&dataset);
+    println!("candidate describable groups (>= 5 tuples): {}", groups.len());
+
+    let ctx = MiningContext::build(&dataset, groups, SummarizerChoice::fast_lda(10));
+
+    // --- 3. Problems (the paper's Section 2.2 setting: k = 2, p = 100, q = r = 0.5) --
+    let params = ProblemParams {
+        k: 2,
+        min_support: 100.min(dataset.num_actions() / 10),
+        user_threshold: 0.5,
+        item_threshold: 0.5,
+    };
+
+    // Problem 2: similar users, diverse items, maximize tag similarity. Try the folding
+    // variant first and fall back to filtering if the hash-space partitioning happens to
+    // separate every feasible candidate (both are sub-second; Exact is the safety net).
+    let problem2 = catalog::problem_2(params);
+    let mut outcome2 = SmLshSolver::new(ConstraintMode::Fold).solve(&ctx, &problem2);
+    if outcome2.is_null() {
+        outcome2 = SmLshSolver::new(ConstraintMode::Filter).solve(&ctx, &problem2);
+    }
+    println!("\n== {} ({}) ==", problem2.name, problem2.describe());
+    report(&ctx, &dataset, &problem2, &outcome2);
+
+    // Problem 4: diverse users, similar items, maximize tag diversity.
+    let problem4 = catalog::problem_4(params);
+    let fdp = DvFdpSolver::new(ConstraintMode::Fold);
+    let outcome4 = fdp.solve(&ctx, &problem4);
+    println!("\n== {} ({}) ==", problem4.name, problem4.describe());
+    report(&ctx, &dataset, &problem4, &outcome4);
+
+    // The exact baseline confirms the heuristics' quality on this small corpus.
+    let exact = ExactSolver::new();
+    let exact2 = exact.solve(&ctx, &problem2);
+    let exact4 = exact.solve(&ctx, &problem4);
+    println!(
+        "\nobjective vs Exact:  Problem 2: {:.4} / {:.4}   Problem 4: {:.4} / {:.4}",
+        outcome2.objective, exact2.objective, outcome4.objective, exact4.objective
+    );
+}
+
+fn report(ctx: &MiningContext, dataset: &Dataset, problem: &TagDmProblem, outcome: &SolverOutcome) {
+    if outcome.is_null() {
+        println!("{}: no feasible group set found", outcome.solver);
+        return;
+    }
+    let quality = evaluation::evaluate(ctx, problem, outcome);
+    println!(
+        "{} found {} groups in {:.2} ms (objective {:.4}, tag similarity {:.4}, support {})",
+        outcome.solver,
+        outcome.groups.len(),
+        quality.elapsed_ms,
+        quality.objective,
+        quality.avg_pairwise_tag_similarity,
+        quality.support
+    );
+    for line in render_groups(ctx, dataset, &outcome.groups, 5) {
+        println!("  g = {line}");
+    }
+}

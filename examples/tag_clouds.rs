@@ -1,0 +1,98 @@
+//! Figures 1–2 as a library example: build the frequency-based tag signature (tag
+//! cloud) of one director's movies for all users and for a single state's users, and
+//! point out the tags that distinguish them.
+//!
+//! Run with `cargo run --example tag_clouds --release`.
+
+use tagdm::prelude::*;
+use tagdm_data::group::{GroupId, TaggingActionGroup};
+
+fn main() {
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::medium()).generate();
+
+    // Pick the director with the most tagging actions.
+    let director_attr = dataset.item_schema.attribute_id("director").expect("schema has director");
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (_, action) in dataset.actions() {
+        let item = dataset.item(action.item);
+        let name = dataset
+            .item_schema
+            .attribute(director_attr)
+            .value_name(item.value(director_attr))
+            .expect("interned value")
+            .to_string();
+        *counts.entry(name).or_insert(0) += 1;
+    }
+    let director = counts
+        .iter()
+        .max_by_key(|(_, c)| **c)
+        .map(|(name, _)| name.clone())
+        .expect("non-empty corpus");
+
+    // Figure 1: tag signature over all users.
+    let all = TaggingActionGroup::from_predicate(
+        GroupId(0),
+        &dataset,
+        ConjunctivePredicate::parse(&dataset, &[("item", "director", director.as_str())]).unwrap(),
+    );
+
+    // Figure 2: tag signature over users from the most active state only.
+    let state_attr = dataset.user_schema.attribute_id("state").expect("schema has state");
+    let mut state_counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for &aid in &all.actions {
+        let user = dataset.user(dataset.action(aid).user);
+        let name = dataset
+            .user_schema
+            .attribute(state_attr)
+            .value_name(user.value(state_attr))
+            .expect("interned value")
+            .to_string();
+        *state_counts.entry(name).or_insert(0) += 1;
+    }
+    let state = state_counts
+        .iter()
+        .max_by_key(|(_, c)| **c)
+        .map(|(name, _)| name.clone())
+        .expect("group is non-empty");
+    let restricted = TaggingActionGroup::from_predicate(
+        GroupId(1),
+        &dataset,
+        ConjunctivePredicate::parse(
+            &dataset,
+            &[("item", "director", director.as_str()), ("user", "state", state.as_str())],
+        )
+        .unwrap(),
+    );
+
+    println!("director: {director}   restricted state: {state}\n");
+    print_cloud(&dataset, &all, &format!("Figure 1 — all users ({} actions)", all.len()));
+    print_cloud(
+        &dataset,
+        &restricted,
+        &format!("Figure 2 — users from {state} ({} actions)", restricted.len()),
+    );
+
+    // Which tags distinguish the restricted signature, as in the paper's discussion of
+    // the two clouds?
+    let all_top: std::collections::HashSet<_> =
+        all.top_tags(15).into_iter().map(|(t, _)| t).collect();
+    let only_state: Vec<String> = restricted
+        .top_tags(15)
+        .into_iter()
+        .filter(|(t, _)| !all_top.contains(t))
+        .map(|(t, _)| dataset.tags.name(t).unwrap_or("<unknown>").to_string())
+        .collect();
+    println!("tags prominent only for {state} users: {}", only_state.join(", "));
+}
+
+fn print_cloud(dataset: &Dataset, group: &TaggingActionGroup, title: &str) {
+    println!("{title}");
+    let max = group.top_tags(1).first().map(|&(_, c)| c).unwrap_or(1).max(1);
+    for (tag, count) in group.top_tags(15) {
+        let name = dataset.tags.name(tag).unwrap_or("<unknown>");
+        // Render "font size" as bar length, like a terminal tag cloud.
+        let weight = (count as f64 / max as f64 * 30.0).round() as usize;
+        println!("  {name:<24} {count:>4}  {}", "*".repeat(weight.max(1)));
+    }
+    println!();
+}

@@ -1,0 +1,54 @@
+//! Compare the six Table 1 analyses on the same corpus, the library-level counterpart of
+//! the paper's user study (Figure 9): for each problem instantiation, run the
+//! recommended solver and print the analysis it produces, so a reader can judge which
+//! instantiation is the most interpretable — the question the paper put to AMT workers.
+//!
+//! Run with `cargo run --example user_study --release`.
+
+use tagdm::prelude::*;
+use tagdm_core::evaluation::render_groups;
+use tagdm_core::solvers::recommend;
+
+fn main() {
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+    let groups = GroupingScheme::over(
+        &dataset,
+        &[("user", "gender"), ("user", "age"), ("item", "genre")],
+    )
+    .expect("attributes exist")
+    .min_group_size(5)
+    .enumerate(&dataset);
+    let ctx = MiningContext::build(&dataset, groups, SummarizerChoice::fast_lda(10));
+
+    let params = ProblemParams {
+        k: 2,
+        min_support: dataset.num_actions() / 100,
+        user_threshold: 0.4,
+        item_threshold: 0.4,
+    };
+
+    println!("query: analyze tagging behaviour of all users for all movies\n");
+    for pid in 1..=6 {
+        let problem = catalog::problem(pid, params);
+        let solver = recommend(&problem);
+        let outcome = solver.solve(&ctx, &problem);
+        println!("Problem {pid} — {} (solved by {})", problem.describe(), solver.name());
+        if outcome.is_null() {
+            println!("  no feasible analysis under these thresholds\n");
+            continue;
+        }
+        for line in render_groups(&ctx, &dataset, &outcome.groups, 4) {
+            println!("  {line}");
+        }
+        println!(
+            "  objective {:.4}, tag similarity {:.4}\n",
+            outcome.objective,
+            evaluation::evaluate(&ctx, &problem, &outcome).avg_pairwise_tag_similarity
+        );
+    }
+    println!(
+        "(The paper's AMT study found Problems 2, 3 and 6 — diversity on exactly one\n\
+         component — to be the analyses users prefer; `cargo run -p tagdm-bench --bin\n\
+         fig9_user_study` reproduces that preference distribution with simulated judges.)"
+    );
+}

@@ -21,7 +21,9 @@ fn bench_lsh_parameters(c: &mut Criterion) {
     let problem = catalog::problem_1(params);
 
     let mut group = c.benchmark_group("ablation_lsh_parameters");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for bits in [4usize, 8, 16] {
         group.bench_with_input(BenchmarkId::new("bits", bits), &bits, |b, &bits| {
             let solver = SmLshSolver::new(ConstraintMode::Fold).with_bits(bits);
@@ -46,13 +48,16 @@ fn bench_lsh_parameters(c: &mut Criterion) {
 }
 
 fn bench_summarizers(c: &mut Criterion) {
-    let dataset =
-        tagdm_data::generator::MovieLensStyleGenerator::new(ExperimentScale::Small.generator_config())
-            .generate();
+    let dataset = tagdm_data::generator::MovieLensStyleGenerator::new(
+        ExperimentScale::Small.generator_config(),
+    )
+    .generate();
     let groups = enumerate_groups(&dataset, ExperimentScale::Small);
 
     let mut group = c.benchmark_group("ablation_summarizers");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let choices = [
         ("frequency", SummarizerChoice::Frequency),
         ("tfidf", SummarizerChoice::TfIdf),
@@ -77,7 +82,9 @@ fn bench_dispersion_objectives(c: &mut Criterion) {
     });
 
     let mut group = c.benchmark_group("ablation_dispersion_objective");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("max_avg_greedy", |b| b.iter(|| max_avg_greedy(&matrix, 3)));
     group.bench_function("max_min_greedy", |b| b.iter(|| max_min_greedy(&matrix, 3)));
     group.finish();

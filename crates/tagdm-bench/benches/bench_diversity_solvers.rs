@@ -13,7 +13,9 @@ fn bench_diversity(c: &mut Criterion) {
     let params = workload.relaxed_params();
 
     let mut group = c.benchmark_group("fig5_diversity_solvers");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for pid in 4..=6 {
         let problem = catalog::problem(pid, params);

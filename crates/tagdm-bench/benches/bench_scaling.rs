@@ -34,13 +34,13 @@ fn bench_scaling(c: &mut Criterion) {
     let fdp = DvFdpSolver::new(ConstraintMode::Fold);
 
     let mut group = c.benchmark_group("fig7_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (num_actions, ctx) in &contexts {
-        group.bench_with_input(
-            BenchmarkId::new("Exact_p1", num_actions),
-            ctx,
-            |b, ctx| b.iter(|| exact.solve(ctx, &p1)),
-        );
+        group.bench_with_input(BenchmarkId::new("Exact_p1", num_actions), ctx, |b, ctx| {
+            b.iter(|| exact.solve(ctx, &p1))
+        });
         group.bench_with_input(
             BenchmarkId::new("SM-LSH-Fo_p1", num_actions),
             ctx,

@@ -16,7 +16,9 @@ fn bench_similarity(c: &mut Criterion) {
     let params = workload.relaxed_params();
 
     let mut group = c.benchmark_group("fig3_similarity_solvers");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for pid in 1..=3 {
         let problem = catalog::problem(pid, params);

@@ -16,7 +16,9 @@ use tagdm_topics::lda::{LdaConfig, LdaModel};
 
 fn bench_substrates(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     // Corpus generation.
     group.bench_function("generate_small_corpus", |b| {
@@ -69,11 +71,17 @@ fn bench_substrates(c: &mut Criterion) {
     });
 
     // Distance matrix + dispersion greedy.
-    let signatures: Vec<Vec<f64>> = (0..corpus.len()).map(|d| model.document_topics(d)).collect();
+    let signatures: Vec<Vec<f64>> = (0..corpus.len())
+        .map(|d| model.document_topics(d))
+        .collect();
     group.bench_function("distance_matrix_plus_max_avg_greedy", |b| {
         b.iter(|| {
             let matrix = DistanceMatrix::from_fn(signatures.len(), |i, j| {
-                let dot: f64 = signatures[i].iter().zip(&signatures[j]).map(|(a, b)| a * b).sum();
+                let dot: f64 = signatures[i]
+                    .iter()
+                    .zip(&signatures[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let na: f64 = signatures[i].iter().map(|a| a * a).sum::<f64>().sqrt();
                 let nb: f64 = signatures[j].iter().map(|a| a * a).sum::<f64>().sqrt();
                 1.0 - dot / (na * nb)
@@ -84,7 +92,9 @@ fn bench_substrates(c: &mut Criterion) {
     let matrix = DistanceMatrix::from_fn(signatures.len(), |i, j| {
         (signatures[i][0] - signatures[j][0]).abs()
     });
-    group.bench_function("max_min_greedy_k3", |b| b.iter(|| max_min_greedy(&matrix, 3)));
+    group.bench_function("max_min_greedy_k3", |b| {
+        b.iter(|| max_min_greedy(&matrix, 3))
+    });
 
     group.finish();
 }

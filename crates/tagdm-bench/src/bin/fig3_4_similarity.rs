@@ -11,7 +11,10 @@ use tagdm_bench::workloads::{ExperimentScale, Workload};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("building {} workload (corpus + groups + LDA signatures) ...", scale.name());
+    eprintln!(
+        "building {} workload (corpus + groups + LDA signatures) ...",
+        scale.name()
+    );
     let workload = Workload::build(scale);
     eprintln!(
         "corpus: {} actions, {} candidate groups, {} topics",
@@ -21,8 +24,14 @@ fn main() {
     );
     let params = workload.relaxed_params();
     let result = solver_comparison::run_similarity(&workload, params);
-    println!("{}", result.time_table("Figure 3 — execution time (Problems 1-3, tag similarity)"));
-    println!("{}", result.quality_table("Figure 4 — result quality (Problems 1-3, tag similarity)"));
+    println!(
+        "{}",
+        result.time_table("Figure 3 — execution time (Problems 1-3, tag similarity)")
+    );
+    println!(
+        "{}",
+        result.quality_table("Figure 4 — result quality (Problems 1-3, tag similarity)")
+    );
     if result.exact_capped {
         println!("note: Exact was capped at 5M candidate sets at this scale.");
     }

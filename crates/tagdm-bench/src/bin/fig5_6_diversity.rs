@@ -7,7 +7,10 @@ use tagdm_bench::workloads::{ExperimentScale, Workload};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("building {} workload (corpus + groups + LDA signatures) ...", scale.name());
+    eprintln!(
+        "building {} workload (corpus + groups + LDA signatures) ...",
+        scale.name()
+    );
     let workload = Workload::build(scale);
     eprintln!(
         "corpus: {} actions, {} candidate groups, {} topics",
@@ -17,8 +20,14 @@ fn main() {
     );
     let params = workload.relaxed_params();
     let result = solver_comparison::run_diversity(&workload, params);
-    println!("{}", result.time_table("Figure 5 — execution time (Problems 4-6, tag diversity)"));
-    println!("{}", result.quality_table("Figure 6 — result quality (Problems 4-6, tag diversity)"));
+    println!(
+        "{}",
+        result.time_table("Figure 5 — execution time (Problems 4-6, tag diversity)")
+    );
+    println!(
+        "{}",
+        result.quality_table("Figure 6 — result quality (Problems 4-6, tag diversity)")
+    );
     if result.exact_capped {
         println!("note: Exact was capped at 5M candidate sets at this scale.");
     }

@@ -52,7 +52,10 @@ pub struct ComparisonResult {
 impl ComparisonResult {
     /// The runs belonging to one problem id.
     pub fn runs_for(&self, problem_id: usize) -> Vec<&SolverRun> {
-        self.runs.iter().filter(|r| r.problem_id == problem_id).collect()
+        self.runs
+            .iter()
+            .filter(|r| r.problem_id == problem_id)
+            .collect()
     }
 
     /// The measurement of one (problem, solver) pair.
@@ -87,7 +90,13 @@ impl ComparisonResult {
         }
         render_table(
             title,
-            &["problem", "solver", "time", "speedup vs Exact", "candidates"],
+            &[
+                "problem",
+                "solver",
+                "time",
+                "speedup vs Exact",
+                "candidates",
+            ],
             &rows,
         )
     }
@@ -118,7 +127,14 @@ impl ComparisonResult {
         }
         render_table(
             title,
-            &["problem", "solver", "tag sim", "tag div", "objective", "feasible"],
+            &[
+                "problem",
+                "solver",
+                "tag sim",
+                "tag div",
+                "objective",
+                "feasible",
+            ],
             &rows,
         )
     }
@@ -268,7 +284,10 @@ mod tests {
             .chain(div.runs.iter())
             .filter(|r| r.solver != "Exact")
             .collect();
-        let found = heuristic_runs.iter().filter(|r| !r.report.null_result).count();
+        let found = heuristic_runs
+            .iter()
+            .filter(|r| !r.report.null_result)
+            .count();
         assert!(
             found * 2 >= heuristic_runs.len(),
             "at least half of the heuristic runs should return results ({found}/{})",

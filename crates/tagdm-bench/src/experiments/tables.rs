@@ -86,7 +86,12 @@ pub fn render_table_2() -> String {
         .collect();
     render_table(
         "Table 2 — summary of TagDM problem solutions",
-        &["optimization", "algorithm", "constraints", "additional techniques"],
+        &[
+            "optimization",
+            "algorithm",
+            "constraints",
+            "additional techniques",
+        ],
         &rows,
     )
 }
@@ -106,9 +111,15 @@ mod tests {
     fn table_1_rows_cover_all_six_problems() {
         let rows = table_1_rows(ProblemParams::default());
         assert_eq!(rows.len(), 6);
-        assert!(rows[..3].iter().all(|r| r.recommended_solver.starts_with("SM-LSH")));
-        assert!(rows[3..].iter().all(|r| r.recommended_solver.starts_with("DV-FDP")));
-        assert!(rows.iter().all(|r| r.constraints == "U,I" && r.optimization == "T"));
+        assert!(rows[..3]
+            .iter()
+            .all(|r| r.recommended_solver.starts_with("SM-LSH")));
+        assert!(rows[3..]
+            .iter()
+            .all(|r| r.recommended_solver.starts_with("DV-FDP")));
+        assert!(rows
+            .iter()
+            .all(|r| r.constraints == "U,I" && r.optimization == "T"));
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub fn base_utility(problem_id: usize) -> f64 {
 
 /// Run the simulated study.
 pub fn run(config: StudyConfig) -> StudyResult {
-    assert!(config.num_judges > 0 && config.num_queries > 0, "study needs votes");
+    assert!(
+        config.num_judges > 0 && config.num_queries > 0,
+        "study needs votes"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut votes = [0usize; 6];
     for _judge in 0..config.num_judges {

@@ -28,7 +28,11 @@ pub enum ExperimentScale {
 impl ExperimentScale {
     /// Parse from the `TAGDM_SCALE` environment variable (default: medium).
     pub fn from_env() -> Self {
-        match std::env::var("TAGDM_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("TAGDM_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "small" => ExperimentScale::Small,
             "paper" | "full" => ExperimentScale::Paper,
             _ => ExperimentScale::Medium,
@@ -58,11 +62,7 @@ impl ExperimentScale {
     /// the full cartesian product exactly as in Section 6.
     pub fn grouping_attributes(self) -> Vec<(&'static str, &'static str)> {
         match self {
-            ExperimentScale::Small => vec![
-                ("user", "gender"),
-                ("user", "age"),
-                ("item", "genre"),
-            ],
+            ExperimentScale::Small => vec![("user", "gender"), ("user", "age"), ("item", "genre")],
             ExperimentScale::Medium => vec![
                 ("user", "gender"),
                 ("user", "age"),
@@ -159,8 +159,16 @@ pub fn build_context(dataset: &Dataset, scale: ExperimentScale) -> MiningContext
         dataset,
         groups,
         SummarizerChoice::Lda(tagdm_topics::lda::LdaConfig {
-            iterations: if scale == ExperimentScale::Small { 60 } else { 120 },
-            burn_in: if scale == ExperimentScale::Small { 20 } else { 40 },
+            iterations: if scale == ExperimentScale::Small {
+                60
+            } else {
+                120
+            },
+            burn_in: if scale == ExperimentScale::Small {
+                20
+            } else {
+                40
+            },
             ..tagdm_topics::lda::LdaConfig::with_topics(scale.num_topics())
         }),
     )

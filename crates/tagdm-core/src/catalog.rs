@@ -79,29 +79,63 @@ pub struct CanonicalRow {
 pub fn table_1() -> Vec<CanonicalRow> {
     use MiningCriterion::{Diversity as D, Similarity as S};
     vec![
-        CanonicalRow { id: 1, user: S, item: S, tag: S },
-        CanonicalRow { id: 2, user: S, item: D, tag: S },
-        CanonicalRow { id: 3, user: D, item: S, tag: S },
-        CanonicalRow { id: 4, user: D, item: S, tag: D },
-        CanonicalRow { id: 5, user: S, item: D, tag: D },
-        CanonicalRow { id: 6, user: S, item: S, tag: D },
+        CanonicalRow {
+            id: 1,
+            user: S,
+            item: S,
+            tag: S,
+        },
+        CanonicalRow {
+            id: 2,
+            user: S,
+            item: D,
+            tag: S,
+        },
+        CanonicalRow {
+            id: 3,
+            user: D,
+            item: S,
+            tag: S,
+        },
+        CanonicalRow {
+            id: 4,
+            user: D,
+            item: S,
+            tag: D,
+        },
+        CanonicalRow {
+            id: 5,
+            user: S,
+            item: D,
+            tag: D,
+        },
+        CanonicalRow {
+            id: 6,
+            user: S,
+            item: S,
+            tag: D,
+        },
     ]
 }
 
 /// Build the TagDM problem for one Table 1 row.
 pub fn from_row(row: CanonicalRow, params: ProblemParams) -> TagDmProblem {
-    TagDmProblem::new(format!("Problem {} (Table 1)", row.id), params.k, params.min_support)
-        .with_constraint(ConstraintSpec::standard(
-            TaggingDimension::Users,
-            row.user,
-            params.user_threshold,
-        ))
-        .with_constraint(ConstraintSpec::standard(
-            TaggingDimension::Items,
-            row.item,
-            params.item_threshold,
-        ))
-        .with_objective(ObjectiveSpec::standard(TaggingDimension::Tags, row.tag))
+    TagDmProblem::new(
+        format!("Problem {} (Table 1)", row.id),
+        params.k,
+        params.min_support,
+    )
+    .with_constraint(ConstraintSpec::standard(
+        TaggingDimension::Users,
+        row.user,
+        params.user_threshold,
+    ))
+    .with_constraint(ConstraintSpec::standard(
+        TaggingDimension::Items,
+        row.item,
+        params.item_threshold,
+    ))
+    .with_objective(ObjectiveSpec::standard(TaggingDimension::Tags, row.tag))
 }
 
 /// Problem 1: similar users, similar items, maximize tag **similarity**.
@@ -140,13 +174,19 @@ pub fn problem_6(params: ProblemParams) -> TagDmProblem {
 
 /// Problem `id` (1–6) of Table 1.
 pub fn problem(id: usize, params: ProblemParams) -> TagDmProblem {
-    assert!((1..=6).contains(&id), "Table 1 defines problems 1 through 6");
+    assert!(
+        (1..=6).contains(&id),
+        "Table 1 defines problems 1 through 6"
+    );
     from_row(table_1()[id - 1], params)
 }
 
 /// All six canonical problems, in Table 1 order.
 pub fn canonical_problems(params: ProblemParams) -> Vec<TagDmProblem> {
-    table_1().into_iter().map(|row| from_row(row, params)).collect()
+    table_1()
+        .into_iter()
+        .map(|row| from_row(row, params))
+        .collect()
 }
 
 /// The role of one tagging component in a problem instance.
@@ -186,7 +226,10 @@ pub fn all_instances(params: ProblemParams) -> Vec<TagDmProblem> {
         for &item_role in &ComponentRole::ALL {
             for &tag_role in &ComponentRole::ALL {
                 let roles = [user_role, item_role, tag_role];
-                if !roles.iter().any(|r| matches!(r, ComponentRole::Objective(_))) {
+                if !roles
+                    .iter()
+                    .any(|r| matches!(r, ComponentRole::Objective(_)))
+                {
                     continue;
                 }
                 let mut problem = TagDmProblem::new(
@@ -203,8 +246,9 @@ pub fn all_instances(params: ProblemParams) -> Vec<TagDmProblem> {
                                 }
                                 TaggingDimension::Items => params.item_threshold,
                             };
-                            problem = problem
-                                .with_constraint(ConstraintSpec::standard(*dim, *criterion, threshold));
+                            problem = problem.with_constraint(ConstraintSpec::standard(
+                                *dim, *criterion, threshold,
+                            ));
                         }
                         ComponentRole::Objective(criterion) => {
                             problem =

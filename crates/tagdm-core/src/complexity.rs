@@ -40,7 +40,10 @@ impl CbsInstance {
     /// Create an instance; panics on ragged adjacency or out-of-range sizes.
     pub fn new(adjacency: Vec<Vec<bool>>, n1: usize, n2: usize) -> Self {
         let v2 = adjacency.first().map_or(0, Vec::len);
-        assert!(adjacency.iter().all(|row| row.len() == v2), "ragged adjacency matrix");
+        assert!(
+            adjacency.iter().all(|row| row.len() == v2),
+            "ragged adjacency matrix"
+        );
         assert!(n1 >= 1 && n1 <= adjacency.len(), "n1 out of range");
         assert!(n2 >= 1 && n2 <= v2.max(1), "n2 out of range");
         CbsInstance { adjacency, n1, n2 }

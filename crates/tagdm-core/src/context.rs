@@ -104,9 +104,7 @@ impl MiningContext {
                 "frequency-normalized",
             ),
             SummarizerChoice::TfIdf => (TfIdfSummarizer::new().summarize(&corpus), "tf-idf"),
-            SummarizerChoice::Lda(config) => {
-                (LdaSummarizer::new(config).summarize(&corpus), "lda")
-            }
+            SummarizerChoice::Lda(config) => (LdaSummarizer::new(config).summarize(&corpus), "lda"),
         };
         let signature_dims = signatures.first().map_or(0, TagSignature::dims);
 
@@ -132,14 +130,16 @@ impl MiningContext {
                     Dimension::User => {
                         uv[cond.attribute.0 as usize] = Some(cond.value);
                         uo.push((
-                            (user_offsets[cond.attribute.0 as usize] + cond.value.0 as usize) as u32,
+                            (user_offsets[cond.attribute.0 as usize] + cond.value.0 as usize)
+                                as u32,
                             1.0,
                         ));
                     }
                     Dimension::Item => {
                         iv[cond.attribute.0 as usize] = Some(cond.value);
                         io.push((
-                            (item_offsets[cond.attribute.0 as usize] + cond.value.0 as usize) as u32,
+                            (item_offsets[cond.attribute.0 as usize] + cond.value.0 as usize)
+                                as u32,
                             1.0,
                         ));
                     }
@@ -390,9 +390,24 @@ mod tests {
     fn dataset() -> Dataset {
         let mut b = DatasetBuilder::movielens_style();
         let users = [
-            [("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")],
-            [("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ca")],
-            [("gender", "female"), ("age", "35-44"), ("occupation", "artist"), ("state", "ca")],
+            [
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ],
+            [
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ca"),
+            ],
+            [
+                ("gender", "female"),
+                ("age", "35-44"),
+                ("occupation", "artist"),
+                ("state", "ca"),
+            ],
         ]
         .map(|p| b.add_user(p).unwrap());
         let items = [
@@ -400,12 +415,18 @@ mod tests {
             [("genre", "war"), ("actor", "b"), ("director", "spielberg")],
         ]
         .map(|p| b.add_item(p).unwrap());
-        b.add_action_str(users[0], items[0], &["funny", "light"], None).unwrap();
-        b.add_action_str(users[1], items[0], &["funny", "quirky"], None).unwrap();
-        b.add_action_str(users[0], items[1], &["gritty", "war"], None).unwrap();
-        b.add_action_str(users[2], items[1], &["moving", "war"], None).unwrap();
-        b.add_action_str(users[2], items[0], &["light", "quirky"], None).unwrap();
-        b.add_action_str(users[1], items[1], &["gritty", "tense"], None).unwrap();
+        b.add_action_str(users[0], items[0], &["funny", "light"], None)
+            .unwrap();
+        b.add_action_str(users[1], items[0], &["funny", "quirky"], None)
+            .unwrap();
+        b.add_action_str(users[0], items[1], &["gritty", "war"], None)
+            .unwrap();
+        b.add_action_str(users[2], items[1], &["moving", "war"], None)
+            .unwrap();
+        b.add_action_str(users[2], items[0], &["light", "quirky"], None)
+            .unwrap();
+        b.add_action_str(users[1], items[1], &["gritty", "tense"], None)
+            .unwrap();
         b.build()
     }
 
@@ -434,9 +455,7 @@ mod tests {
         // Find the two groups with gender=male: they share the user side entirely.
         let male_groups: Vec<usize> = (0..ctx.num_groups())
             .filter(|&i| {
-                ctx.user_onehot(i)
-                    .iter()
-                    .any(|&(c, _)| c == 0) // first unarized slot = gender=male (first interned)
+                ctx.user_onehot(i).iter().any(|&(c, _)| c == 0) // first unarized slot = gender=male (first interned)
             })
             .collect();
         assert_eq!(male_groups.len(), 2);
@@ -464,7 +483,8 @@ mod tests {
         let (_, ctx) = context(SummarizerChoice::Frequency);
         for a in 0..ctx.num_groups() {
             for b in 0..ctx.num_groups() {
-                let sim = ctx.pairwise_similarity(TaggingDimension::Tags, PairwiseKind::TagCosine, a, b);
+                let sim =
+                    ctx.pairwise_similarity(TaggingDimension::Tags, PairwiseKind::TagCosine, a, b);
                 let expected = ctx.tag_signature(a).cosine_similarity(ctx.tag_signature(b));
                 assert!((sim - expected).abs() < 1e-12);
                 // Structural kind on the tags dimension falls back to cosine too.
@@ -478,8 +498,20 @@ mod tests {
     #[test]
     fn diversity_is_one_minus_similarity() {
         let (_, ctx) = context(SummarizerChoice::Frequency);
-        let sim = ctx.pairwise_score(TaggingDimension::Tags, MiningCriterion::Similarity, PairwiseKind::TagCosine, 0, 1);
-        let div = ctx.pairwise_score(TaggingDimension::Tags, MiningCriterion::Diversity, PairwiseKind::TagCosine, 0, 1);
+        let sim = ctx.pairwise_score(
+            TaggingDimension::Tags,
+            MiningCriterion::Similarity,
+            PairwiseKind::TagCosine,
+            0,
+            1,
+        );
+        let div = ctx.pairwise_score(
+            TaggingDimension::Tags,
+            MiningCriterion::Diversity,
+            PairwiseKind::TagCosine,
+            0,
+            1,
+        );
         assert!((sim + div - 1.0).abs() < 1e-12);
     }
 
@@ -494,14 +526,21 @@ mod tests {
             PairwiseKind::TagCosine,
             Aggregator::Mean,
         );
-        let manual = (ctx.pairwise_similarity(TaggingDimension::Tags, PairwiseKind::TagCosine, 0, 1)
-            + ctx.pairwise_similarity(TaggingDimension::Tags, PairwiseKind::TagCosine, 0, 2)
-            + ctx.pairwise_similarity(TaggingDimension::Tags, PairwiseKind::TagCosine, 1, 2))
-            / 3.0;
+        let manual =
+            (ctx.pairwise_similarity(TaggingDimension::Tags, PairwiseKind::TagCosine, 0, 1)
+                + ctx.pairwise_similarity(TaggingDimension::Tags, PairwiseKind::TagCosine, 0, 2)
+                + ctx.pairwise_similarity(TaggingDimension::Tags, PairwiseKind::TagCosine, 1, 2))
+                / 3.0;
         assert!((mean - manual).abs() < 1e-12);
         // Singleton and empty sets score zero.
         assert_eq!(
-            ctx.set_score(&[0], TaggingDimension::Tags, MiningCriterion::Similarity, PairwiseKind::TagCosine, Aggregator::Mean),
+            ctx.set_score(
+                &[0],
+                TaggingDimension::Tags,
+                MiningCriterion::Similarity,
+                PairwiseKind::TagCosine,
+                Aggregator::Mean
+            ),
             0.0
         );
     }
@@ -531,16 +570,22 @@ mod tests {
             .iter()
             .filter(|&&(i, _)| (i as usize) >= ctx.signature_dims())
             .collect();
-        assert_eq!(beyond.len(), ctx.user_onehot(0).len() + ctx.item_onehot(0).len());
+        assert_eq!(
+            beyond.len(),
+            ctx.user_onehot(0).len() + ctx.item_onehot(0).len()
+        );
         // All components fall inside the declared folded dimensionality.
-        assert!(folded.iter().all(|&(i, _)| (i as usize) < ctx.folded_dims(true, true)));
+        assert!(folded
+            .iter()
+            .all(|&(i, _)| (i as usize) < ctx.folded_dims(true, true)));
     }
 
     #[test]
     fn item_set_jaccard_matches_manual_computation() {
         let (_, ctx) = context(SummarizerChoice::Frequency);
         // Groups 0 and 1: both contain item 0 if they tag the comedy movie.
-        let sim = ctx.pairwise_similarity(TaggingDimension::Users, PairwiseKind::ItemSetJaccard, 0, 1);
+        let sim =
+            ctx.pairwise_similarity(TaggingDimension::Users, PairwiseKind::ItemSetJaccard, 0, 1);
         assert!((0.0..=1.0).contains(&sim));
         // Identity gives 1.
         let self_sim =

@@ -156,8 +156,14 @@ mod tests {
     fn orient_inverts_for_diversity() {
         assert_eq!(MiningCriterion::Similarity.orient(0.8), 0.8);
         assert!((MiningCriterion::Diversity.orient(0.8) - 0.2).abs() < 1e-12);
-        assert_eq!(MiningCriterion::Similarity.dual(), MiningCriterion::Diversity);
-        assert_eq!(MiningCriterion::Diversity.dual(), MiningCriterion::Similarity);
+        assert_eq!(
+            MiningCriterion::Similarity.dual(),
+            MiningCriterion::Diversity
+        );
+        assert_eq!(
+            MiningCriterion::Diversity.dual(),
+            MiningCriterion::Similarity
+        );
     }
 
     #[test]
@@ -183,7 +189,12 @@ mod tests {
         assert_eq!(Aggregator::Min.aggregate(&scores), 0.2);
         assert_eq!(Aggregator::Max.aggregate(&scores), 0.9);
         assert!((Aggregator::Sum.aggregate(&scores) - 1.5).abs() < 1e-12);
-        for agg in [Aggregator::Mean, Aggregator::Min, Aggregator::Max, Aggregator::Sum] {
+        for agg in [
+            Aggregator::Mean,
+            Aggregator::Min,
+            Aggregator::Max,
+            Aggregator::Sum,
+        ] {
             assert_eq!(agg.aggregate(&[]), 0.0);
             assert!(!agg.name().is_empty());
         }

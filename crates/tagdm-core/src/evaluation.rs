@@ -48,7 +48,11 @@ pub struct QualityReport {
 }
 
 /// Build the quality report for one solver outcome.
-pub fn evaluate(ctx: &MiningContext, problem: &TagDmProblem, outcome: &SolverOutcome) -> QualityReport {
+pub fn evaluate(
+    ctx: &MiningContext,
+    problem: &TagDmProblem,
+    outcome: &SolverOutcome,
+) -> QualityReport {
     let similarity = ctx.set_score(
         &outcome.groups,
         TaggingDimension::Tags,
@@ -68,7 +72,11 @@ pub fn evaluate(ctx: &MiningContext, problem: &TagDmProblem, outcome: &SolverOut
         groups: outcome.groups.clone(),
         objective: outcome.objective,
         avg_pairwise_tag_similarity: similarity,
-        avg_pairwise_tag_diversity: if outcome.groups.len() < 2 { 0.0 } else { diversity },
+        avg_pairwise_tag_diversity: if outcome.groups.len() < 2 {
+            0.0
+        } else {
+            diversity
+        },
         support: ctx.support(&outcome.groups),
         support_fraction: ctx.support_fraction(&outcome.groups),
         feasible: outcome.feasible && problem.feasible(ctx, &outcome.groups),
@@ -183,7 +191,9 @@ mod tests {
     fn lsh_report_for_similarity_problem_has_high_tag_similarity() {
         let ctx = small_context();
         let problem = problem_1(loose_params());
-        let outcome = SmLshSolver::new(ConstraintMode::Fold).with_bits(6).solve(&ctx, &problem);
+        let outcome = SmLshSolver::new(ConstraintMode::Fold)
+            .with_bits(6)
+            .solve(&ctx, &problem);
         let report = evaluate(&ctx, &problem, &outcome);
         assert!(!report.null_result);
         assert!(report.avg_pairwise_tag_similarity > 0.3);

@@ -52,7 +52,13 @@ impl DualMiningFunction {
     /// Evaluate the function on a candidate set of groups. Sets with fewer than two
     /// groups score 0 (there are no pairs to compare).
     pub fn evaluate(&self, ctx: &MiningContext, set: &[usize]) -> f64 {
-        ctx.set_score(set, self.dimension, self.criterion, self.kind, self.aggregator)
+        ctx.set_score(
+            set,
+            self.dimension,
+            self.criterion,
+            self.kind,
+            self.aggregator,
+        )
     }
 
     /// Evaluate the underlying pairwise comparison on a single pair.
@@ -82,10 +88,20 @@ mod tests {
     fn ctx() -> MiningContext {
         let mut b = DatasetBuilder::movielens_style();
         let u0 = b
-            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .add_user([
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ])
             .unwrap();
         let u1 = b
-            .add_user([("gender", "female"), ("age", "18-24"), ("occupation", "artist"), ("state", "ca")])
+            .add_user([
+                ("gender", "female"),
+                ("age", "18-24"),
+                ("occupation", "artist"),
+                ("state", "ca"),
+            ])
             .unwrap();
         let i0 = b
             .add_item([("genre", "comedy"), ("actor", "a"), ("director", "x")])

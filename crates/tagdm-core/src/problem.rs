@@ -125,7 +125,11 @@ impl TagDmProblem {
         if self.objectives.iter().any(|o| o.weight <= 0.0) {
             return Err("objective weights must be positive".into());
         }
-        if self.constraints.iter().any(|c| !(0.0..=1.0).contains(&c.threshold)) {
+        if self
+            .constraints
+            .iter()
+            .any(|c| !(0.0..=1.0).contains(&c.threshold))
+        {
             return Err("constraint thresholds must lie in [0, 1]".into());
         }
         Ok(())
@@ -172,8 +176,11 @@ impl TagDmProblem {
 
     /// The dimensions that appear in the optimization goal.
     pub fn objective_dimensions(&self) -> Vec<TaggingDimension> {
-        let mut dims: Vec<TaggingDimension> =
-            self.objectives.iter().map(|o| o.function.dimension).collect();
+        let mut dims: Vec<TaggingDimension> = self
+            .objectives
+            .iter()
+            .map(|o| o.function.dimension)
+            .collect();
         dims.sort();
         dims.dedup();
         dims
@@ -226,14 +233,24 @@ impl TagDmProblem {
         let objectives: Vec<String> = self
             .objectives
             .iter()
-            .map(|o| format!("{} {}", o.function.dimension.name(), o.function.criterion.name()))
+            .map(|o| {
+                format!(
+                    "{} {}",
+                    o.function.dimension.name(),
+                    o.function.criterion.name()
+                )
+            })
             .collect();
         format!(
             "k in [{}, {}], support >= {}; C: {}; O: {}",
             self.min_groups,
             self.max_groups,
             self.min_support,
-            if constraints.is_empty() { "-".to_string() } else { constraints.join(", ") },
+            if constraints.is_empty() {
+                "-".to_string()
+            } else {
+                constraints.join(", ")
+            },
             objectives.join(" + ")
         )
     }
@@ -250,10 +267,20 @@ mod tests {
     fn ctx() -> MiningContext {
         let mut b = DatasetBuilder::movielens_style();
         let u0 = b
-            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .add_user([
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ])
             .unwrap();
         let u1 = b
-            .add_user([("gender", "female"), ("age", "35-44"), ("occupation", "artist"), ("state", "ca")])
+            .add_user([
+                ("gender", "female"),
+                ("age", "35-44"),
+                ("occupation", "artist"),
+                ("state", "ca"),
+            ])
             .unwrap();
         let i0 = b
             .add_item([("genre", "comedy"), ("actor", "a"), ("director", "x")])
@@ -374,11 +401,8 @@ mod tests {
     #[test]
     fn pair_satisfied_matches_set_constraint_for_pairs() {
         let ctx = ctx();
-        let constraint = ConstraintSpec::standard(
-            TaggingDimension::Items,
-            MiningCriterion::Similarity,
-            0.3,
-        );
+        let constraint =
+            ConstraintSpec::standard(TaggingDimension::Items, MiningCriterion::Similarity, 0.3);
         for a in 0..ctx.num_groups() {
             for b in (a + 1)..ctx.num_groups() {
                 assert_eq!(

@@ -29,7 +29,7 @@ use tagdm_geometry::distance::DistanceMatrix;
 
 use crate::context::MiningContext;
 use crate::problem::TagDmProblem;
-use crate::solvers::{ConstraintMode, Solver, SolverOutcome};
+use crate::solvers::{CancelToken, ConstraintMode, Solver, SolverOutcome};
 
 /// Tag-diversity (or, generally, pairwise-objective) maximization by greedy facility
 /// dispersion.
@@ -47,19 +47,23 @@ impl DvFdpSolver {
 
     /// Build the pairwise-objective matrix `S_G` of Algorithm 2.
     fn objective_matrix(&self, ctx: &MiningContext, problem: &TagDmProblem) -> DistanceMatrix {
-        DistanceMatrix::from_fn(ctx.num_groups(), |i, j| problem.pairwise_objective(ctx, i, j))
-    }
-}
-
-impl Solver for DvFdpSolver {
-    fn name(&self) -> String {
-        format!("DV-FDP{}", self.mode.suffix())
+        DistanceMatrix::from_fn(ctx.num_groups(), |i, j| {
+            problem.pairwise_objective(ctx, i, j)
+        })
     }
 
-    fn solve(&self, ctx: &MiningContext, problem: &TagDmProblem) -> SolverOutcome {
+    fn solve_impl(
+        &self,
+        ctx: &MiningContext,
+        problem: &TagDmProblem,
+        cancel: Option<&CancelToken>,
+    ) -> SolverOutcome {
         let start = Instant::now();
         let n = ctx.num_groups();
-        if n == 0 {
+        // Cancellation is coarse here: the quadratic matrix build is one uninterruptible
+        // block, so the token is honoured before it and at every greedy admissibility
+        // test after it.
+        if n == 0 || cancel.is_some_and(|token| token.is_cancelled()) {
             return SolverOutcome {
                 elapsed: start.elapsed(),
                 ..SolverOutcome::null(self.name())
@@ -77,6 +81,9 @@ impl Solver for DvFdpSolver {
                 // The greedy add only admits a candidate if the grown set still satisfies
                 // every non-support constraint (support is checked after selection).
                 max_avg_greedy_with(&matrix, problem.max_groups, |selected, candidate| {
+                    if cancel.is_some_and(|token| token.is_cancelled()) {
+                        return false;
+                    }
                     if selected.is_empty() {
                         return true;
                     }
@@ -115,6 +122,25 @@ impl Solver for DvFdpSolver {
             elapsed,
             candidates_evaluated: evaluated,
         }
+    }
+}
+
+impl Solver for DvFdpSolver {
+    fn name(&self) -> String {
+        format!("DV-FDP{}", self.mode.suffix())
+    }
+
+    fn solve(&self, ctx: &MiningContext, problem: &TagDmProblem) -> SolverOutcome {
+        self.solve_impl(ctx, problem, None)
+    }
+
+    fn solve_cancellable(
+        &self,
+        ctx: &MiningContext,
+        problem: &TagDmProblem,
+        cancel: &CancelToken,
+    ) -> SolverOutcome {
+        self.solve_impl(ctx, problem, Some(cancel))
     }
 }
 
@@ -157,7 +183,11 @@ mod tests {
     #[test]
     fn fdp_quality_is_close_to_exact_on_diversity_problems() {
         let ctx = small_context();
-        for problem in [problem_4(loose_params()), problem_5(loose_params()), problem_6(loose_params())] {
+        for problem in [
+            problem_4(loose_params()),
+            problem_5(loose_params()),
+            problem_6(loose_params()),
+        ] {
             let exact = ExactSolver::new().solve(&ctx, &problem);
             let fdp = DvFdpSolver::new(ConstraintMode::Fold).solve(&ctx, &problem);
             if exact.is_null() {
@@ -220,6 +250,24 @@ mod tests {
         let problem = problem_6(loose_params());
         let outcome = DvFdpSolver::new(ConstraintMode::Filter).solve(&ctx, &problem);
         assert!(outcome.candidates_evaluated >= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn cancellation_preserves_results_until_fired() {
+        let ctx = small_context();
+        let problem = problem_6(loose_params());
+        let solver = DvFdpSolver::new(ConstraintMode::Fold);
+        let direct = solver.solve(&ctx, &problem);
+        let token = crate::solvers::CancelToken::new();
+        let cancellable = solver.solve_cancellable(&ctx, &problem, &token);
+        assert_eq!(direct.groups, cancellable.groups);
+        assert_eq!(direct.objective, cancellable.objective);
+
+        // A pre-fired token returns a null result before the matrix build.
+        token.cancel();
+        let truncated = solver.solve_cancellable(&ctx, &problem, &token);
+        assert!(truncated.is_null());
+        assert_eq!(truncated.candidates_evaluated, 0);
     }
 
     #[test]

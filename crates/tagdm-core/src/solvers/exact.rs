@@ -10,7 +10,12 @@ use std::time::Instant;
 
 use crate::context::MiningContext;
 use crate::problem::TagDmProblem;
-use crate::solvers::{Solver, SolverOutcome};
+use crate::solvers::{CancelToken, Solver, SolverOutcome};
+
+/// How many candidate evaluations pass between cancellation checks: frequent enough
+/// that a deadline lands within microseconds, rare enough to stay off the hot path
+/// (each evaluation is a full feasibility + objective pass over the candidate set).
+const CANCEL_CHECK_MASK: u64 = 0x3F;
 
 /// Exhaustive enumeration solver.
 #[derive(Debug, Clone, Default)]
@@ -31,14 +36,13 @@ impl ExactSolver {
     pub fn with_cap(max_candidates: u64) -> Self {
         ExactSolver { max_candidates }
     }
-}
 
-impl Solver for ExactSolver {
-    fn name(&self) -> String {
-        "Exact".to_string()
-    }
-
-    fn solve(&self, ctx: &MiningContext, problem: &TagDmProblem) -> SolverOutcome {
+    fn solve_impl(
+        &self,
+        ctx: &MiningContext,
+        problem: &TagDmProblem,
+        cancel: Option<&CancelToken>,
+    ) -> SolverOutcome {
         let start = Instant::now();
         let n = ctx.num_groups();
         let mut best: Option<(Vec<usize>, f64)> = None;
@@ -47,6 +51,7 @@ impl Solver for ExactSolver {
 
         let mut current: Vec<usize> = Vec::with_capacity(problem.max_groups);
         // Depth-first enumeration of subsets of size min_groups..=max_groups.
+        #[allow(clippy::too_many_arguments)]
         fn recurse(
             ctx: &MiningContext,
             problem: &TagDmProblem,
@@ -57,6 +62,7 @@ impl Solver for ExactSolver {
             evaluated: &mut u64,
             cap: u64,
             exhausted: &mut bool,
+            cancel: Option<&CancelToken>,
         ) {
             if *exhausted {
                 return;
@@ -65,7 +71,7 @@ impl Solver for ExactSolver {
                 *evaluated += 1;
                 if problem.feasible(ctx, current) {
                     let objective = problem.objective(ctx, current);
-                    if best.as_ref().map_or(true, |(_, b)| objective > *b) {
+                    if best.as_ref().is_none_or(|(_, b)| objective > *b) {
                         *best = Some((current.clone(), objective));
                     }
                 }
@@ -73,13 +79,32 @@ impl Solver for ExactSolver {
                     *exhausted = true;
                     return;
                 }
+                if *evaluated & CANCEL_CHECK_MASK == 0 {
+                    if let Some(token) = cancel {
+                        if token.is_cancelled() {
+                            *exhausted = true;
+                            return;
+                        }
+                    }
+                }
             }
             if current.len() == problem.max_groups {
                 return;
             }
             for i in start_idx..n {
                 current.push(i);
-                recurse(ctx, problem, n, i + 1, current, best, evaluated, cap, exhausted);
+                recurse(
+                    ctx,
+                    problem,
+                    n,
+                    i + 1,
+                    current,
+                    best,
+                    evaluated,
+                    cap,
+                    exhausted,
+                    cancel,
+                );
                 current.pop();
                 if *exhausted {
                     return;
@@ -97,6 +122,7 @@ impl Solver for ExactSolver {
             &mut evaluated,
             self.max_candidates,
             &mut exhausted,
+            cancel,
         );
 
         let elapsed = start.elapsed();
@@ -115,6 +141,25 @@ impl Solver for ExactSolver {
                 ..SolverOutcome::null(self.name())
             },
         }
+    }
+}
+
+impl Solver for ExactSolver {
+    fn name(&self) -> String {
+        "Exact".to_string()
+    }
+
+    fn solve(&self, ctx: &MiningContext, problem: &TagDmProblem) -> SolverOutcome {
+        self.solve_impl(ctx, problem, None)
+    }
+
+    fn solve_cancellable(
+        &self,
+        ctx: &MiningContext,
+        problem: &TagDmProblem,
+        cancel: &CancelToken,
+    ) -> SolverOutcome {
+        self.solve_impl(ctx, problem, Some(cancel))
     }
 }
 
@@ -197,13 +242,40 @@ mod tests {
     }
 
     #[test]
+    fn unfired_cancel_token_leaves_the_result_unchanged() {
+        let ctx = small_context();
+        let problem = problem_1(loose_params());
+        let direct = ExactSolver::new().solve(&ctx, &problem);
+        let token = crate::solvers::CancelToken::new();
+        let cancellable = ExactSolver::new().solve_cancellable(&ctx, &problem, &token);
+        assert_eq!(direct.groups, cancellable.groups);
+        assert_eq!(direct.objective, cancellable.objective);
+        assert_eq!(
+            direct.candidates_evaluated,
+            cancellable.candidates_evaluated
+        );
+    }
+
+    #[test]
+    fn pre_fired_cancel_token_truncates_the_search() {
+        let ctx = small_context();
+        let problem = problem_1(loose_params());
+        let full = ExactSolver::new().solve(&ctx, &problem);
+        let token = crate::solvers::CancelToken::new();
+        token.cancel();
+        let truncated = ExactSolver::new().solve_cancellable(&ctx, &problem, &token);
+        // The first checkpoint (every 64 evaluations) aborts the enumeration well
+        // before the full search space is covered.
+        assert!(truncated.candidates_evaluated < full.candidates_evaluated);
+    }
+
+    #[test]
     fn unconstrained_objective_only_problem_picks_the_best_pairs() {
         let ctx = small_context();
         // No constraints at all: maximize tag diversity over at most 2 groups.
-        let problem = TagDmProblem::new("unconstrained", 2, 1).with_objective(ObjectiveSpec::standard(
-            TaggingDimension::Tags,
-            MiningCriterion::Diversity,
-        ));
+        let problem = TagDmProblem::new("unconstrained", 2, 1).with_objective(
+            ObjectiveSpec::standard(TaggingDimension::Tags, MiningCriterion::Diversity),
+        );
         let outcome = ExactSolver::new().solve(&ctx, &problem);
         assert_eq!(outcome.groups.len(), 2);
         // The chosen pair attains the maximum pairwise diversity.

@@ -9,11 +9,13 @@
 //!   facility dispersion greedy), with filtering (DV-FDP-Fi) and folding (DV-FDP-Fo)
 //!   constraint handling.
 
+mod cancel;
 mod dv_fdp;
 mod exact;
 mod registry;
 mod sm_lsh;
 
+pub use cancel::CancelToken;
 pub use dv_fdp::DvFdpSolver;
 pub use exact::ExactSolver;
 pub use registry::{prescribed_technique, recommend, solution_summary, SolutionRow};
@@ -92,12 +94,31 @@ impl SolverOutcome {
 }
 
 /// A TagDM solver.
+///
+/// Implementations must be `Send + Sync`-compatible value types (plain configuration,
+/// no interior mutability) so that a solver can be shared with or rebuilt on worker
+/// threads; `tagdm-engine` relies on this.
 pub trait Solver {
     /// The solver's display name (e.g. `"SM-LSH-Fo"`).
     fn name(&self) -> String;
 
     /// Solve `problem` over the candidate groups of `ctx`.
     fn solve(&self, ctx: &MiningContext, problem: &TagDmProblem) -> SolverOutcome;
+
+    /// Solve with a cooperative [`CancelToken`]. When the token fires mid-search the
+    /// solver stops at its next checkpoint and returns the best result found so far.
+    /// With a token that never fires this must behave exactly like
+    /// [`solve`](Solver::solve). The default implementation ignores the token, which is
+    /// correct (if unresponsive) for solvers without internal checkpoints.
+    fn solve_cancellable(
+        &self,
+        ctx: &MiningContext,
+        problem: &TagDmProblem,
+        cancel: &CancelToken,
+    ) -> SolverOutcome {
+        let _ = cancel;
+        self.solve(ctx, problem)
+    }
 }
 
 /// Greedily pick at most `limit` members of `candidates` maximizing the problem's
@@ -142,7 +163,7 @@ pub(crate) fn greedy_select_by_objective(
                 .iter()
                 .map(|&s| problem.pairwise_objective(ctx, candidate, s))
                 .sum();
-            if best.map_or(true, |(_, g)| gain > g) {
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((candidate, gain));
             }
         }
@@ -177,7 +198,7 @@ pub(crate) fn greedy_select_feasible(
                 continue;
             }
             let score = problem.pairwise_objective(ctx, a, b);
-            if best_pair.map_or(true, |(_, _, s)| score > s) {
+            if best_pair.is_none_or(|(_, _, s)| score > s) {
                 best_pair = Some((a, b, score));
             }
         }
@@ -201,7 +222,7 @@ pub(crate) fn greedy_select_feasible(
                 .iter()
                 .map(|&s| problem.pairwise_objective(ctx, candidate, s))
                 .sum();
-            if best.map_or(true, |(_, g)| gain > g) {
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((candidate, gain));
             }
         }
@@ -270,11 +291,16 @@ pub(crate) mod test_support {
                     b.add_action_str(u, action_item, &["violence", "gory"], Some(2.5))
                         .unwrap();
                 }
-                b.add_action_str(u, comedy_item, &["funny", "light"], Some(3.5)).unwrap();
+                b.add_action_str(u, comedy_item, &["funny", "light"], Some(3.5))
+                    .unwrap();
                 b.add_action_str(
                     u,
                     drama_item,
-                    if male { &["slow", "moving"] } else { &["moving", "tragic"] },
+                    if male {
+                        &["slow", "moving"]
+                    } else {
+                        &["moving", "tragic"]
+                    },
                     Some(3.0),
                 )
                 .unwrap();
@@ -320,9 +346,54 @@ mod tests {
     }
 
     #[test]
+    fn solver_and_context_types_are_send_and_sync() {
+        // tagdm-engine shares contexts across worker threads and rebuilds solvers from
+        // plain configuration; this audit keeps every participating type thread-safe.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExactSolver>();
+        assert_send_sync::<SmLshSolver>();
+        assert_send_sync::<DvFdpSolver>();
+        assert_send_sync::<MiningContext>();
+        assert_send_sync::<TagDmProblem>();
+        assert_send_sync::<SolverOutcome>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<Box<dyn Solver + Send + Sync>>();
+    }
+
+    #[test]
+    fn default_solve_cancellable_matches_solve() {
+        struct Fixed;
+        impl Solver for Fixed {
+            fn name(&self) -> String {
+                "fixed".into()
+            }
+            fn solve(&self, _ctx: &MiningContext, _problem: &TagDmProblem) -> SolverOutcome {
+                SolverOutcome::null("fixed")
+            }
+        }
+        let ctx = test_support::small_context();
+        let problem = problem_1(ProblemParams {
+            k: 3,
+            min_support: 1,
+            user_threshold: 0.0,
+            item_threshold: 0.0,
+        });
+        let token = CancelToken::new();
+        let direct = Fixed.solve(&ctx, &problem);
+        let cancellable = Fixed.solve_cancellable(&ctx, &problem, &token);
+        assert_eq!(direct.solver, cancellable.solver);
+        assert_eq!(direct.groups, cancellable.groups);
+    }
+
+    #[test]
     fn greedy_selection_returns_bounded_distinct_sets() {
         let ctx = test_support::small_context();
-        let problem = problem_1(ProblemParams { k: 3, min_support: 1, user_threshold: 0.0, item_threshold: 0.0 });
+        let problem = problem_1(ProblemParams {
+            k: 3,
+            min_support: 1,
+            user_threshold: 0.0,
+            item_threshold: 0.0,
+        });
         let candidates: Vec<usize> = (0..ctx.num_groups()).collect();
         let picked = greedy_select_by_objective(&ctx, &problem, &candidates, 3);
         assert_eq!(picked.len(), 3.min(ctx.num_groups()));
@@ -330,8 +401,17 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), picked.len());
         // Candidate lists at or below the limit are returned unchanged.
-        assert_eq!(greedy_select_by_objective(&ctx, &problem, &[1, 2], 3), vec![1, 2]);
-        assert_eq!(greedy_select_by_objective(&ctx, &problem, &candidates, 0).len(), 0);
-        assert_eq!(greedy_select_by_objective(&ctx, &problem, &candidates, 1).len(), 1);
+        assert_eq!(
+            greedy_select_by_objective(&ctx, &problem, &[1, 2], 3),
+            vec![1, 2]
+        );
+        assert_eq!(
+            greedy_select_by_objective(&ctx, &problem, &candidates, 0).len(),
+            0
+        );
+        assert_eq!(
+            greedy_select_by_objective(&ctx, &problem, &candidates, 1).len(),
+            1
+        );
     }
 }

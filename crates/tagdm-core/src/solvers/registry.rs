@@ -6,14 +6,16 @@
 //! prints it) and offers [`recommend`] to pick the paper-recommended solver for a given
 //! problem instance.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::criteria::MiningCriterion;
 use crate::problem::TagDmProblem;
 use crate::solvers::{ConstraintMode, DvFdpSolver, SmLshSolver, Solver};
 
 /// One row of Table 2.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// `Deserialize` is deliberately absent: the row borrows `&'static str` table text,
+// which cannot be reconstructed from parsed input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct SolutionRow {
     /// The optimization criterion of the problem instance.
     pub optimization: &'static str,
@@ -71,8 +73,9 @@ pub fn solution_summary() -> Vec<SolutionRow> {
 /// goal maximizes similarity, DV-FDP-Fo when it maximizes diversity. (Problems that mix
 /// both in the goal are served by DV-FDP, which optimizes an arbitrary pairwise
 /// objective.)
-pub fn recommend(problem: &TagDmProblem) -> Box<dyn Solver> {
-    let maximizes_similarity_only = problem.maximizes_similarity() && !problem.maximizes_diversity();
+pub fn recommend(problem: &TagDmProblem) -> Box<dyn Solver + Send + Sync> {
+    let maximizes_similarity_only =
+        problem.maximizes_similarity() && !problem.maximizes_diversity();
     if maximizes_similarity_only {
         Box::new(SmLshSolver::new(ConstraintMode::Fold))
     } else {
@@ -109,8 +112,14 @@ mod tests {
     fn table_2_has_six_rows_split_between_families() {
         let rows = solution_summary();
         assert_eq!(rows.len(), 6);
-        assert_eq!(rows.iter().filter(|r| r.algorithm == "LSH based").count(), 3);
-        assert_eq!(rows.iter().filter(|r| r.algorithm == "FDP based").count(), 3);
+        assert_eq!(
+            rows.iter().filter(|r| r.algorithm == "LSH based").count(),
+            3
+        );
+        assert_eq!(
+            rows.iter().filter(|r| r.algorithm == "FDP based").count(),
+            3
+        );
         assert!(rows.iter().all(|r| !r.technique.is_empty()));
     }
 

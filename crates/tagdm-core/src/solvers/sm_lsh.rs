@@ -28,9 +28,11 @@ use std::time::Instant;
 use tagdm_lsh::index::{LshConfig, LshIndex};
 
 use crate::context::MiningContext;
-use crate::problem::TagDmProblem;
-use crate::solvers::{greedy_select_by_objective, ConstraintMode, Solver, SolverOutcome};
 use crate::criteria::TaggingDimension;
+use crate::problem::TagDmProblem;
+use crate::solvers::{
+    greedy_select_by_objective, CancelToken, ConstraintMode, Solver, SolverOutcome,
+};
 
 /// Tag-similarity maximization by locality sensitive hashing.
 #[derive(Debug, Clone)]
@@ -111,10 +113,14 @@ impl SmLshSolver {
         ctx: &MiningContext,
         problem: &TagDmProblem,
         index: &LshIndex,
+        cancel: Option<&CancelToken>,
     ) -> (Option<(Vec<usize>, f64)>, u64) {
         let mut best: Option<(Vec<usize>, f64)> = None;
         let mut evaluated = 0u64;
         for bucket in index.all_buckets() {
+            if cancel.is_some_and(|token| token.is_cancelled()) {
+                break;
+            }
             if bucket.len() < problem.min_groups {
                 continue;
             }
@@ -175,21 +181,20 @@ impl SmLshSolver {
                     continue;
                 }
                 let objective = problem.objective(ctx, &candidate);
-                if best.as_ref().map_or(true, |(_, b)| objective > *b) {
+                if best.as_ref().is_none_or(|(_, b)| objective > *b) {
                     best = Some((candidate, objective));
                 }
             }
         }
         (best, evaluated)
     }
-}
 
-impl Solver for SmLshSolver {
-    fn name(&self) -> String {
-        format!("SM-LSH{}", self.mode.suffix())
-    }
-
-    fn solve(&self, ctx: &MiningContext, problem: &TagDmProblem) -> SolverOutcome {
+    fn solve_impl(
+        &self,
+        ctx: &MiningContext,
+        problem: &TagDmProblem,
+        cancel: Option<&CancelToken>,
+    ) -> SolverOutcome {
         let start = Instant::now();
         let (fold_users, fold_items) = self.fold_dimensions(problem);
         let dims = ctx.folded_dims(fold_users, fold_items).max(1);
@@ -215,10 +220,15 @@ impl Solver for SmLshSolver {
                 },
                 vectors.iter().map(|v| v.as_slice()),
             );
-            let (found, evaluated) = self.evaluate_buckets(ctx, problem, &index);
+            let (found, evaluated) = self.evaluate_buckets(ctx, problem, &index, cancel);
             evaluated_total += evaluated;
             if let Some((groups, objective)) = found {
                 best = Some((groups, objective));
+                break;
+            }
+            // A fired token ends the relaxation: rehashing with fewer bits restarts the
+            // whole bucket sweep, which a deadline-bound caller cannot afford.
+            if cancel.is_some_and(|token| token.is_cancelled()) {
                 break;
             }
             // Null result: relax d′ downwards.
@@ -254,6 +264,25 @@ impl Solver for SmLshSolver {
     }
 }
 
+impl Solver for SmLshSolver {
+    fn name(&self) -> String {
+        format!("SM-LSH{}", self.mode.suffix())
+    }
+
+    fn solve(&self, ctx: &MiningContext, problem: &TagDmProblem) -> SolverOutcome {
+        self.solve_impl(ctx, problem, None)
+    }
+
+    fn solve_cancellable(
+        &self,
+        ctx: &MiningContext,
+        problem: &TagDmProblem,
+        cancel: &CancelToken,
+    ) -> SolverOutcome {
+        self.solve_impl(ctx, problem, Some(cancel))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,7 +313,10 @@ mod tests {
         for mode in [ConstraintMode::Filter, ConstraintMode::Fold] {
             let outcome = SmLshSolver::new(mode).with_bits(6).solve(&ctx, &problem);
             assert!(!outcome.is_null(), "{mode:?} should find a result");
-            assert!(outcome.feasible, "{mode:?} result should satisfy constraints");
+            assert!(
+                outcome.feasible,
+                "{mode:?} result should satisfy constraints"
+            );
             assert!(outcome.groups.len() <= 3);
             assert!(outcome.objective > 0.0);
         }
@@ -293,7 +325,11 @@ mod tests {
     #[test]
     fn lsh_quality_is_close_to_exact() {
         let ctx = small_context();
-        for problem in [problem_1(loose_params()), problem_2(loose_params()), problem_3(loose_params())] {
+        for problem in [
+            problem_1(loose_params()),
+            problem_2(loose_params()),
+            problem_3(loose_params()),
+        ] {
             let exact = ExactSolver::new().solve(&ctx, &problem);
             // Several short hash tables: on this tiny corpus a single long signature
             // separates near-identical groups too aggressively (the paper's d' = 10 is
@@ -327,7 +363,10 @@ mod tests {
             .with_bits(48)
             .strict()
             .solve(&ctx, &problem);
-        assert!(!outcome.is_null(), "relaxation should eventually produce buckets");
+        assert!(
+            !outcome.is_null(),
+            "relaxation should eventually produce buckets"
+        );
     }
 
     #[test]
@@ -345,9 +384,14 @@ mod tests {
         let ctx = small_context();
         let mut problem = problem_1(loose_params());
         problem.min_support = 1_000_000; // impossible, but Ignore mode does not care
-        let outcome = SmLshSolver::new(ConstraintMode::Ignore).with_bits(4).solve(&ctx, &problem);
+        let outcome = SmLshSolver::new(ConstraintMode::Ignore)
+            .with_bits(4)
+            .solve(&ctx, &problem);
         assert!(!outcome.is_null());
-        assert!(!outcome.feasible, "result exists but does not meet the support bar");
+        assert!(
+            !outcome.feasible,
+            "result exists but does not meet the support bar"
+        );
     }
 
     #[test]
@@ -356,7 +400,10 @@ mod tests {
         let problem = problem_1(loose_params());
         let solver = SmLshSolver::new(ConstraintMode::Fold);
         let (fold_users, fold_items) = solver.fold_dimensions(&problem);
-        assert!(fold_users && fold_items, "Problem 1 constrains both dimensions to similarity");
+        assert!(
+            fold_users && fold_items,
+            "Problem 1 constrains both dimensions to similarity"
+        );
         assert!(ctx.folded_dims(fold_users, fold_items) > ctx.signature_dims());
 
         // Problem 3 has a *diversity* user constraint: only items are folded.
@@ -370,11 +417,33 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_preserves_results_until_fired() {
+        let ctx = small_context();
+        let problem = problem_1(loose_params());
+        let solver = SmLshSolver::new(ConstraintMode::Fold).with_bits(4);
+        let direct = solver.solve(&ctx, &problem);
+        let token = crate::solvers::CancelToken::new();
+        let cancellable = solver.solve_cancellable(&ctx, &problem, &token);
+        assert_eq!(direct.groups, cancellable.groups);
+        assert_eq!(direct.objective, cancellable.objective);
+
+        // A token fired before the solve starts suppresses every bucket evaluation.
+        token.cancel();
+        let truncated = solver.solve_cancellable(&ctx, &problem, &token);
+        assert_eq!(truncated.candidates_evaluated, 0);
+        assert!(truncated.is_null());
+    }
+
+    #[test]
     fn deterministic_for_a_fixed_seed() {
         let ctx = small_context();
         let problem = problem_1(loose_params());
-        let a = SmLshSolver::new(ConstraintMode::Fold).with_seed(9).solve(&ctx, &problem);
-        let b = SmLshSolver::new(ConstraintMode::Fold).with_seed(9).solve(&ctx, &problem);
+        let a = SmLshSolver::new(ConstraintMode::Fold)
+            .with_seed(9)
+            .solve(&ctx, &problem);
+        let b = SmLshSolver::new(ConstraintMode::Fold)
+            .with_seed(9)
+            .solve(&ctx, &problem);
         assert_eq!(a.groups, b.groups);
         assert_eq!(a.objective, b.objective);
     }

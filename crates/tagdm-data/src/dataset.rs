@@ -257,20 +257,41 @@ mod tests {
     fn tiny_dataset() -> Dataset {
         let mut b = DatasetBuilder::movielens_style();
         let u0 = b
-            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .add_user([
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ])
             .unwrap();
         let u1 = b
-            .add_user([("gender", "female"), ("age", "18-24"), ("occupation", "artist"), ("state", "ca")])
+            .add_user([
+                ("gender", "female"),
+                ("age", "18-24"),
+                ("occupation", "artist"),
+                ("state", "ca"),
+            ])
             .unwrap();
         let i0 = b
-            .add_item([("genre", "comedy"), ("actor", "j.aniston"), ("director", "gor verbinski")])
+            .add_item([
+                ("genre", "comedy"),
+                ("actor", "j.aniston"),
+                ("director", "gor verbinski"),
+            ])
             .unwrap();
         let i1 = b
-            .add_item([("genre", "action"), ("actor", "t.cruise"), ("director", "j.mcquarrie")])
+            .add_item([
+                ("genre", "action"),
+                ("actor", "t.cruise"),
+                ("director", "j.mcquarrie"),
+            ])
             .unwrap();
-        b.add_action_str(u0, i0, &["funny", "friendship"], Some(4.0)).unwrap();
-        b.add_action_str(u1, i0, &["friendship", "light"], Some(3.5)).unwrap();
-        b.add_action_str(u0, i1, &["gun", "special effects"], None).unwrap();
+        b.add_action_str(u0, i0, &["funny", "friendship"], Some(4.0))
+            .unwrap();
+        b.add_action_str(u1, i0, &["friendship", "light"], Some(3.5))
+            .unwrap();
+        b.add_action_str(u0, i1, &["gun", "special effects"], None)
+            .unwrap();
         b.build()
     }
 
@@ -308,7 +329,12 @@ mod tests {
     fn add_action_rejects_bad_references() {
         let mut b = DatasetBuilder::movielens_style();
         let u = b
-            .add_user([("gender", "male"), ("age", "25-34"), ("occupation", "doctor"), ("state", "tx")])
+            .add_user([
+                ("gender", "male"),
+                ("age", "25-34"),
+                ("occupation", "doctor"),
+                ("state", "tx"),
+            ])
             .unwrap();
         let err = b
             .add_action(TaggingAction::new(u, ItemId(99), vec![]))
@@ -316,7 +342,11 @@ mod tests {
         assert!(matches!(err, DataError::UnknownItem(99)));
 
         let i = b
-            .add_item([("genre", "drama"), ("actor", "m.freeman"), ("director", "f.darabont")])
+            .add_item([
+                ("genre", "drama"),
+                ("actor", "m.freeman"),
+                ("director", "f.darabont"),
+            ])
             .unwrap();
         let err = b.add_action(TaggingAction::new(u, i, vec![])).unwrap_err();
         assert!(matches!(err, DataError::EmptyTagSet));

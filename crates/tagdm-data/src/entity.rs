@@ -115,7 +115,10 @@ mod tests {
         let (schema, user) = schema_and_user();
         let age_attr = schema.attribute_id("age").unwrap();
         let age_value = user.value(age_attr);
-        assert_eq!(schema.attribute(age_attr).value_name(age_value), Some("18-24"));
+        assert_eq!(
+            schema.attribute(age_attr).value_name(age_value),
+            Some("18-24")
+        );
     }
 
     #[test]

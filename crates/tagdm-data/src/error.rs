@@ -42,9 +42,16 @@ impl fmt::Display for DataError {
         match self {
             DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             DataError::UnknownValue { attribute, value } => {
-                write!(f, "value `{value}` is not in the domain of attribute `{attribute}`")
+                write!(
+                    f,
+                    "value `{value}` is not in the domain of attribute `{attribute}`"
+                )
             }
-            DataError::ArityMismatch { entity, expected, got } => write!(
+            DataError::ArityMismatch {
+                entity,
+                expected,
+                got,
+            } => write!(
                 f,
                 "{entity} has {got} attribute values but the schema defines {expected}"
             ),

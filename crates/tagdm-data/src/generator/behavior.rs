@@ -63,9 +63,7 @@ impl BehaviorModel {
         // (gender, age) segment → style topic. Spread segments across topics so that
         // different demographics systematically prefer different topics.
         let num_segments = 2 * num_ages;
-        let segment_style_topic = (0..num_segments)
-            .map(|s| (s * 7 + 3) % k)
-            .collect();
+        let segment_style_topic = (0..num_segments).map(|s| (s * 7 + 3) % k).collect();
 
         // Topic → owned words: word w is owned by topic (w mod K).
         let mut topic_words = vec![Vec::new(); k];
@@ -246,7 +244,10 @@ mod tests {
             .flat_map(|g| (0..8).map(move |a| (g, a)))
             .map(|(g, a)| m.style_topic(g, a))
             .collect();
-        assert!(topics.len() > 1, "segments should not all share one style topic");
+        assert!(
+            topics.len() > 1,
+            "segments should not all share one style topic"
+        );
     }
 
     #[test]

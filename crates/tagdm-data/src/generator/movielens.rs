@@ -22,9 +22,7 @@ impl MovieLensStyleGenerator {
     /// Create a generator; panics if the configuration is invalid (configurations built
     /// through the provided presets are always valid).
     pub fn new(config: GeneratorConfig) -> Self {
-        config
-            .validate()
-            .expect("invalid generator configuration");
+        config.validate().expect("invalid generator configuration");
         MovieLensStyleGenerator { config }
     }
 
@@ -70,8 +68,12 @@ impl MovieLensStyleGenerator {
         let mut item_genres: Vec<usize> = Vec::with_capacity(config.num_items);
         for _ in 0..config.num_items {
             let genre_idx = sample_zipf_index(&mut rng, pools.genres.len(), 0.7);
-            let director_idx =
-                pick_compatible(&mut rng, pools.directors.len(), pools.genres.len(), genre_idx);
+            let director_idx = pick_compatible(
+                &mut rng,
+                pools.directors.len(),
+                pools.genres.len(),
+                genre_idx,
+            );
             let actor_idx =
                 pick_compatible(&mut rng, pools.actors.len(), pools.genres.len(), genre_idx);
             builder
@@ -103,10 +105,7 @@ impl MovieLensStyleGenerator {
 
             let num_tags = sample_tag_count(&mut rng, config.mean_tags_per_action);
             let words = model.sample_tags(&mut rng, genre_idx, gender_idx, age_idx, num_tags);
-            let tags = words
-                .into_iter()
-                .map(|w| crate::tag::TagId(w))
-                .collect::<Vec<_>>();
+            let tags = words.into_iter().map(crate::tag::TagId).collect::<Vec<_>>();
 
             let rating = if rng.gen::<f64>() < config.rating_fraction {
                 Some(sample_rating(&mut rng, genre_idx, gender_idx))
@@ -253,7 +252,10 @@ mod tests {
             let rating = action.rating.expect("rating_fraction is 1.0");
             assert!((0.5..=5.0).contains(&rating));
             let doubled = rating * 2.0;
-            assert!((doubled - doubled.round()).abs() < 1e-6, "half-star increments");
+            assert!(
+                (doubled - doubled.round()).abs() < 1e-6,
+                "half-star increments"
+            );
         }
     }
 
@@ -263,7 +265,11 @@ mod tests {
         // different tag distributions (this is the structure Problem 4/6 mines).
         let ds = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
         let gender_attr = ds.user_schema.attribute_id("gender").unwrap();
-        let male = ds.user_schema.attribute(gender_attr).value_id("male").unwrap();
+        let male = ds
+            .user_schema
+            .attribute(gender_attr)
+            .value_id("male")
+            .unwrap();
 
         let mut male_counts = std::collections::HashMap::new();
         let mut female_counts = std::collections::HashMap::new();
@@ -283,10 +289,24 @@ mod tests {
             .iter()
             .filter_map(|(t, &c)| female_counts.get(t).map(|&c2| (c * c2) as f64))
             .sum();
-        let na: f64 = male_counts.values().map(|&c| (c * c) as f64).sum::<f64>().sqrt();
-        let nb: f64 = female_counts.values().map(|&c| (c * c) as f64).sum::<f64>().sqrt();
+        let na: f64 = male_counts
+            .values()
+            .map(|&c| (c * c) as f64)
+            .sum::<f64>()
+            .sqrt();
+        let nb: f64 = female_counts
+            .values()
+            .map(|&c| (c * c) as f64)
+            .sum::<f64>()
+            .sqrt();
         let cosine = dot / (na * nb);
-        assert!(cosine < 0.999, "gender tag histograms should not be identical");
-        assert!(cosine > 0.1, "gender tag histograms should still overlap via genres");
+        assert!(
+            cosine < 0.999,
+            "gender tag histograms should not be identical"
+        );
+        assert!(
+            cosine > 0.1,
+            "gender tag histograms should still overlap via genres"
+        );
     }
 }

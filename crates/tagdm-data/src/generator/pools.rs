@@ -13,41 +13,100 @@ pub const AGE_RANGES: [&str; 8] = [
 
 /// The 21 occupations listed by MovieLens.
 pub const OCCUPATIONS: [&str; 21] = [
-    "other", "academic", "artist", "clerical", "college student", "customer service",
-    "doctor", "executive", "farmer", "homemaker", "k-12 student", "lawyer", "programmer",
-    "retired", "sales", "scientist", "self-employed", "technician", "tradesman",
-    "unemployed", "writer",
+    "other",
+    "academic",
+    "artist",
+    "clerical",
+    "college student",
+    "customer service",
+    "doctor",
+    "executive",
+    "farmer",
+    "homemaker",
+    "k-12 student",
+    "lawyer",
+    "programmer",
+    "retired",
+    "sales",
+    "scientist",
+    "self-employed",
+    "technician",
+    "tradesman",
+    "unemployed",
+    "writer",
 ];
 
 /// The 19 MovieLens genres.
 pub const GENRES: [&str; 19] = [
-    "action", "adventure", "animation", "children", "comedy", "crime", "documentary",
-    "drama", "fantasy", "film-noir", "horror", "musical", "mystery", "romance", "sci-fi",
-    "thriller", "war", "western", "imax",
+    "action",
+    "adventure",
+    "animation",
+    "children",
+    "comedy",
+    "crime",
+    "documentary",
+    "drama",
+    "fantasy",
+    "film-noir",
+    "horror",
+    "musical",
+    "mystery",
+    "romance",
+    "sci-fi",
+    "thriller",
+    "war",
+    "western",
+    "imax",
 ];
 
 /// US state / location codes (50 states + DC + "foreign"), matching the paper's 52
 /// distinct location values derived from USPS zip codes.
 pub const STATES: [&str; 52] = [
-    "al", "ak", "az", "ar", "ca", "co", "ct", "de", "fl", "ga", "hi", "id", "il", "in",
-    "ia", "ks", "ky", "la", "me", "md", "ma", "mi", "mn", "ms", "mo", "mt", "ne", "nv",
-    "nh", "nj", "nm", "ny", "nc", "nd", "oh", "ok", "or", "pa", "ri", "sc", "sd", "tn",
-    "tx", "ut", "vt", "va", "wa", "wv", "wi", "wy", "dc", "foreign",
+    "al", "ak", "az", "ar", "ca", "co", "ct", "de", "fl", "ga", "hi", "id", "il", "in", "ia", "ks",
+    "ky", "la", "me", "md", "ma", "mi", "mn", "ms", "mo", "mt", "ne", "nv", "nh", "nj", "nm", "ny",
+    "nc", "nd", "oh", "ok", "or", "pa", "ri", "sc", "sd", "tn", "tx", "ut", "vt", "va", "wa", "wv",
+    "wi", "wy", "dc", "foreign",
 ];
 
 /// Syllables used to synthesize pronounceable surnames and tag words.
 const SYLLABLES: [&str; 24] = [
-    "an", "ber", "cor", "dan", "el", "fen", "gar", "hol", "is", "jor", "kel", "lan",
-    "mor", "nor", "ol", "per", "quin", "ros", "sten", "tor", "ul", "ver", "wil", "zan",
+    "an", "ber", "cor", "dan", "el", "fen", "gar", "hol", "is", "jor", "kel", "lan", "mor", "nor",
+    "ol", "per", "quin", "ros", "sten", "tor", "ul", "ver", "wil", "zan",
 ];
 
 /// Tag-word stems combined with syllables to form a long-tail vocabulary that still
 /// reads like real folksonomy tags.
 const TAG_STEMS: [&str; 30] = [
-    "dark", "quirky", "epic", "slow", "gritty", "tense", "funny", "tragic", "cult",
-    "classic", "surreal", "romantic", "violent", "visual", "smart", "twist", "campy",
-    "moody", "stylish", "dreamy", "bleak", "uplifting", "satire", "noir", "retro",
-    "haunting", "minimal", "lush", "raw", "playful",
+    "dark",
+    "quirky",
+    "epic",
+    "slow",
+    "gritty",
+    "tense",
+    "funny",
+    "tragic",
+    "cult",
+    "classic",
+    "surreal",
+    "romantic",
+    "violent",
+    "visual",
+    "smart",
+    "twist",
+    "campy",
+    "moody",
+    "stylish",
+    "dreamy",
+    "bleak",
+    "uplifting",
+    "satire",
+    "noir",
+    "retro",
+    "haunting",
+    "minimal",
+    "lush",
+    "raw",
+    "playful",
 ];
 
 /// Concrete attribute-value pools instantiated from a [`GeneratorConfig`].
@@ -105,7 +164,9 @@ fn synthesize_people(count: usize, salt: u64) -> Vec<String> {
     let mut names = Vec::with_capacity(count);
     let initials = "abcdefghijklmnopqrstuvwxyz".as_bytes();
     for i in 0..count {
-        let mix = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt);
+        let mix = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt);
         let initial = initials[(mix % 26) as usize] as char;
         let s1 = SYLLABLES[((mix >> 8) % SYLLABLES.len() as u64) as usize];
         let s2 = SYLLABLES[((mix >> 16) % SYLLABLES.len() as u64) as usize];

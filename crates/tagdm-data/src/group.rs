@@ -81,11 +81,7 @@ impl TaggingActionGroup {
     }
 
     /// Materialize the group matching `predicate` over the whole dataset.
-    pub fn from_predicate(
-        id: GroupId,
-        dataset: &Dataset,
-        predicate: ConjunctivePredicate,
-    ) -> Self {
+    pub fn from_predicate(id: GroupId, dataset: &Dataset, predicate: ConjunctivePredicate) -> Self {
         let actions: Vec<ActionId> = dataset
             .actions()
             .filter(|(_, a)| predicate.matches(dataset, a))
@@ -263,9 +259,24 @@ mod tests {
     fn dataset() -> Dataset {
         let mut b = DatasetBuilder::movielens_style();
         let users = [
-            [("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")],
-            [("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ca")],
-            [("gender", "female"), ("age", "35-44"), ("occupation", "artist"), ("state", "ca")],
+            [
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ],
+            [
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ca"),
+            ],
+            [
+                ("gender", "female"),
+                ("age", "35-44"),
+                ("occupation", "artist"),
+                ("state", "ca"),
+            ],
         ]
         .map(|pairs| b.add_user(pairs).unwrap());
         let items = [
@@ -274,11 +285,16 @@ mod tests {
         ]
         .map(|pairs| b.add_item(pairs).unwrap());
 
-        b.add_action_str(users[0], items[0], &["funny", "light"], None).unwrap();
-        b.add_action_str(users[1], items[0], &["funny"], None).unwrap();
-        b.add_action_str(users[0], items[1], &["gritty", "war"], None).unwrap();
-        b.add_action_str(users[2], items[1], &["moving"], None).unwrap();
-        b.add_action_str(users[2], items[0], &["light"], None).unwrap();
+        b.add_action_str(users[0], items[0], &["funny", "light"], None)
+            .unwrap();
+        b.add_action_str(users[1], items[0], &["funny"], None)
+            .unwrap();
+        b.add_action_str(users[0], items[1], &["gritty", "war"], None)
+            .unwrap();
+        b.add_action_str(users[2], items[1], &["moving"], None)
+            .unwrap();
+        b.add_action_str(users[2], items[0], &["light"], None)
+            .unwrap();
         b.build()
     }
 

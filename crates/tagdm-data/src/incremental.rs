@@ -60,7 +60,10 @@ pub enum UpdateEffect {
 }
 
 /// Apply one update to a dataset in place, interning any new attribute values and tags.
-pub fn apply_update(dataset: &mut Dataset, update: &DatasetUpdate) -> Result<UpdateEffect, DataError> {
+pub fn apply_update(
+    dataset: &mut Dataset,
+    update: &DatasetUpdate,
+) -> Result<UpdateEffect, DataError> {
     match update {
         DatasetUpdate::AddUser { attributes } => {
             let pairs: Vec<(&str, &str)> = attributes
@@ -223,7 +226,12 @@ mod tests {
     fn base_dataset() -> Dataset {
         let mut b = DatasetBuilder::movielens_style();
         let u0 = b
-            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .add_user([
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ])
             .unwrap();
         let i0 = b
             .add_item([("genre", "comedy"), ("actor", "a"), ("director", "x")])
@@ -320,7 +328,8 @@ mod tests {
         // Start from a generated corpus, stream half of it through the incremental
         // grouping, then append the rest as updates: the final groups must be identical
         // to a fresh batch enumeration over the full corpus.
-        let full = MovieLensStyleGenerator::new(GeneratorConfig::small().with_actions(600)).generate();
+        let full =
+            MovieLensStyleGenerator::new(GeneratorConfig::small().with_actions(600)).generate();
         let half = 300usize;
         let mut streaming = Dataset {
             user_schema: full.user_schema.clone(),
@@ -368,7 +377,8 @@ mod tests {
 
     #[test]
     fn catch_up_absorbs_everything_added_since_construction() {
-        let mut ds = MovieLensStyleGenerator::new(GeneratorConfig::small().with_actions(100)).generate();
+        let mut ds =
+            MovieLensStyleGenerator::new(GeneratorConfig::small().with_actions(100)).generate();
         let scheme = GroupingScheme::over(&ds, &[("item", "genre")]).unwrap();
         let mut incremental = IncrementalGrouping::new(&scheme, 1, &ds);
         let before_keys = incremental.num_keys();

@@ -56,12 +56,18 @@ mod tests {
     fn dataset() -> Dataset {
         let mut b = DatasetBuilder::movielens_style();
         let u = b
-            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .add_user([
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ])
             .unwrap();
         let i = b
             .add_item([("genre", "comedy"), ("actor", "a"), ("director", "x")])
             .unwrap();
-        b.add_action_str(u, i, &["funny", "quirky"], Some(4.0)).unwrap();
+        b.add_action_str(u, i, &["funny", "quirky"], Some(4.0))
+            .unwrap();
         b.build()
     }
 

@@ -60,7 +60,9 @@ pub use dataset::{Dataset, DatasetBuilder, DatasetStats};
 pub use entity::{Item, ItemId, User, UserId};
 pub use error::DataError;
 pub use group::{GroupId, GroupingScheme, TaggingActionGroup};
-pub use incremental::{apply_update, apply_updates, DatasetUpdate, IncrementalGrouping, UpdateEffect};
+pub use incremental::{
+    apply_update, apply_updates, DatasetUpdate, IncrementalGrouping, UpdateEffect,
+};
 pub use predicate::{AtomicPredicate, ConjunctivePredicate, Dimension};
 pub use schema::{AttributeId, Schema, ValueId};
 pub use tag::{TagId, TagVocabulary};

@@ -196,10 +196,20 @@ mod tests {
     fn dataset() -> Dataset {
         let mut b = DatasetBuilder::movielens_style();
         let u0 = b
-            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .add_user([
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ])
             .unwrap();
         let u1 = b
-            .add_user([("gender", "female"), ("age", "35-44"), ("occupation", "artist"), ("state", "ca")])
+            .add_user([
+                ("gender", "female"),
+                ("age", "35-44"),
+                ("occupation", "artist"),
+                ("state", "ca"),
+            ])
             .unwrap();
         let i0 = b
             .add_item([("genre", "comedy"), ("actor", "a"), ("director", "x")])
@@ -226,7 +236,10 @@ mod tests {
         let ds = dataset();
         let pred = ConjunctivePredicate::parse(
             &ds,
-            &[("user", "gender", "male"), ("item", "director", "spielberg")],
+            &[
+                ("user", "gender", "male"),
+                ("item", "director", "spielberg"),
+            ],
         )
         .unwrap();
         let matching: usize = ds.actions().filter(|(_, a)| pred.matches(&ds, a)).count();

@@ -71,7 +71,10 @@ pub fn subset_by_actions(dataset: &Dataset, actions: &[ActionId]) -> Dataset {
         users: dataset.users.clone(),
         items: dataset.items.clone(),
         tags: dataset.tags.clone(),
-        actions: actions.iter().map(|&id| dataset.action(id).clone()).collect(),
+        actions: actions
+            .iter()
+            .map(|&id| dataset.action(id).clone())
+            .collect(),
     }
 }
 
@@ -103,10 +106,20 @@ mod tests {
     fn dataset() -> Dataset {
         let mut b = DatasetBuilder::movielens_style();
         let u0 = b
-            .add_user([("gender", "male"), ("age", "18-24"), ("occupation", "student"), ("state", "ny")])
+            .add_user([
+                ("gender", "male"),
+                ("age", "18-24"),
+                ("occupation", "student"),
+                ("state", "ny"),
+            ])
             .unwrap();
         let u1 = b
-            .add_user([("gender", "female"), ("age", "35-44"), ("occupation", "artist"), ("state", "ca")])
+            .add_user([
+                ("gender", "female"),
+                ("age", "35-44"),
+                ("occupation", "artist"),
+                ("state", "ca"),
+            ])
             .unwrap();
         let i0 = b
             .add_item([("genre", "comedy"), ("actor", "a"), ("director", "x")])

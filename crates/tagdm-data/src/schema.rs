@@ -180,10 +180,13 @@ impl Schema {
         let attr = self
             .attribute_id(name)
             .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))?;
-        let value_id = self.attribute(attr).value_id(value).ok_or_else(|| DataError::UnknownValue {
-            attribute: name.to_string(),
-            value: value.to_string(),
-        })?;
+        let value_id =
+            self.attribute(attr)
+                .value_id(value)
+                .ok_or_else(|| DataError::UnknownValue {
+                    attribute: name.to_string(),
+                    value: value.to_string(),
+                })?;
         Ok((attr, value_id))
     }
 

@@ -1,0 +1,176 @@
+//! The public engine handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tagdm_core::context::MiningContext;
+use tagdm_core::problem::TagDmProblem;
+use tagdm_data::dataset::Dataset;
+use tagdm_geometry::distance::DistanceMatrix;
+
+use crate::error::EngineError;
+use crate::executor::{Job, JobExecutor};
+use crate::job::{shutdown_response, JobId, JobTicket, SolveRequest, SolveResponse};
+use crate::metrics::MetricsSnapshot;
+use crate::spec::ContextSpec;
+use crate::state::EngineState;
+
+/// Sizing knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads in the solve pool.
+    pub workers: usize,
+    /// Capacity of the mining-context LRU cache (contexts are the largest artifacts).
+    pub context_cache: usize,
+    /// Capacity of the solver-outcome LRU cache.
+    pub outcome_cache: usize,
+    /// Capacity of the pairwise objective-matrix LRU cache.
+    pub matrix_cache: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            context_cache: 16,
+            outcome_cache: 256,
+            matrix_cache: 32,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Override the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// A long-lived, thread-safe mining service over registered datasets.
+///
+/// The engine memoizes the expensive artifacts of the TagDM pipeline — mining contexts
+/// keyed by `(dataset, grouping scheme, summarizer)`, pairwise objective matrices and
+/// whole solver outcomes — and runs [`SolveRequest`]s on a fixed worker pool with
+/// cooperative deadline cancellation. All methods take `&self`; share an engine across
+/// threads with `Arc` or plain borrows.
+pub struct Engine {
+    state: Arc<EngineState>,
+    executor: JobExecutor,
+    next_job: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Start an engine: spawns the worker pool immediately.
+    pub fn new(config: EngineConfig) -> Self {
+        let state = Arc::new(EngineState::new(
+            config.context_cache,
+            config.outcome_cache,
+            config.matrix_cache,
+        ));
+        let executor = JobExecutor::start(config.workers, Arc::clone(&state));
+        Engine {
+            state,
+            executor,
+            next_job: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine with the default configuration (4 workers).
+    pub fn with_defaults() -> Self {
+        Engine::default()
+    }
+
+    /// Number of worker threads in the solve pool.
+    pub fn num_workers(&self) -> usize {
+        self.executor.num_workers()
+    }
+
+    /// Register (or replace) a dataset under `name`. Existing cached contexts built
+    /// from a replaced dataset stay valid for their own `Arc`'d data but new grouped
+    /// specs resolve against the new registration — re-register under a fresh name to
+    /// keep both.
+    pub fn register_dataset(&self, name: impl Into<String>, dataset: Dataset) -> Arc<Dataset> {
+        self.state.register_dataset(name.into(), dataset)
+    }
+
+    /// The dataset registered under `name`, if any.
+    pub fn dataset(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.state.dataset(name)
+    }
+
+    /// Sorted names of every registered dataset.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.state.dataset_names()
+    }
+
+    /// Install a pre-built context under an explicit name, pinned outside the LRU
+    /// cache. Requests reference it with [`ContextSpec::installed`].
+    pub fn install_context(
+        &self,
+        name: impl Into<String>,
+        context: MiningContext,
+    ) -> Arc<MiningContext> {
+        self.state.install_context(name.into(), context)
+    }
+
+    /// Resolve (building and caching if needed) the context a spec denotes.
+    pub fn context(&self, spec: &ContextSpec) -> Result<Arc<MiningContext>, EngineError> {
+        self.state.resolve_context(spec).map(|(context, _)| context)
+    }
+
+    /// The memoized pairwise objective matrix of `problem` over the spec's context.
+    pub fn objective_matrix(
+        &self,
+        spec: &ContextSpec,
+        problem: &TagDmProblem,
+    ) -> Result<Arc<DistanceMatrix>, EngineError> {
+        self.state.objective_matrix(spec, problem)
+    }
+
+    /// Enqueue a request on the worker pool; the ticket resolves to the response.
+    pub fn submit(&self, request: SolveRequest) -> JobTicket {
+        let id = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+        self.state.metrics.job_submitted();
+        let (reply, receiver) = channel();
+        let job = Job {
+            id,
+            request,
+            submitted: Instant::now(),
+            reply,
+        };
+        if self.executor.submit(job).is_err() {
+            // Executor shut down: synthesize the response on the ticket's channel...
+            // which is gone with the job. Recreate a pre-resolved ticket instead.
+            let (reply, receiver) = channel();
+            let _ = reply.send(shutdown_response(id));
+            return JobTicket { id, receiver };
+        }
+        JobTicket { id, receiver }
+    }
+
+    /// Submit and block for the response.
+    pub fn solve(&self, request: SolveRequest) -> SolveResponse {
+        self.submit(request).wait()
+    }
+
+    /// Submit a batch and collect the responses in request order. The batch runs
+    /// concurrently across the worker pool.
+    pub fn solve_batch(&self, requests: Vec<SolveRequest>) -> Vec<SolveResponse> {
+        let tickets: Vec<JobTicket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets.into_iter().map(JobTicket::wait).collect()
+    }
+
+    /// A point-in-time copy of the engine's counters and latency histograms.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state.metrics.snapshot()
+    }
+}

@@ -1,0 +1,64 @@
+//! Engine error types.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Why the engine could not produce a [`SolverOutcome`] for a request.
+///
+/// [`SolverOutcome`]: tagdm_core::solvers::SolverOutcome
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineError {
+    /// The request referenced a dataset name that was never registered.
+    UnknownDataset(String),
+    /// The request referenced an installed context name that does not exist.
+    UnknownContext(String),
+    /// The grouping recipe did not match the dataset's schema.
+    InvalidGrouping(String),
+    /// The problem failed [`TagDmProblem::validate`](tagdm_core::problem::TagDmProblem::validate).
+    InvalidProblem(String),
+    /// The job's deadline passed while it was still queued; no solver ran.
+    DeadlineExpiredInQueue {
+        /// How long the job had been queued when a worker finally saw it.
+        waited: Duration,
+    },
+    /// The engine was shut down before the job could be answered.
+    Shutdown,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            EngineError::UnknownContext(name) => write!(f, "unknown installed context `{name}`"),
+            EngineError::InvalidGrouping(message) => write!(f, "invalid grouping: {message}"),
+            EngineError::InvalidProblem(message) => write!(f, "invalid problem: {message}"),
+            EngineError::DeadlineExpiredInQueue { waited } => {
+                write!(f, "deadline expired after {waited:?} in queue")
+            }
+            EngineError::Shutdown => write!(f, "engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        assert_eq!(
+            EngineError::UnknownDataset("ml".into()).to_string(),
+            "unknown dataset `ml`"
+        );
+        assert!(EngineError::DeadlineExpiredInQueue {
+            waited: Duration::from_millis(5)
+        }
+        .to_string()
+        .contains("deadline expired"));
+        assert_eq!(EngineError::Shutdown.to_string(), "engine shut down");
+    }
+}

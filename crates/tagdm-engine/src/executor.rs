@@ -1,0 +1,179 @@
+//! The fixed-size worker pool running solve jobs.
+//!
+//! Jobs flow through a single `mpsc` channel guarded by a mutex on the receiving side
+//! (the standard-library receiver is single-consumer); each worker thread loops on
+//! `recv`, runs one job to completion and sends the [`SolveResponse`] back on the
+//! job's private reply channel. Shutdown is channel-driven: dropping the sender ends
+//! every worker's loop, and [`JobExecutor::drop`] joins them.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tagdm_core::solvers::CancelToken;
+
+use crate::error::EngineError;
+use crate::job::{CacheReport, JobId, SolveRequest, SolveResponse};
+use crate::state::EngineState;
+
+pub(crate) struct Job {
+    pub(crate) id: JobId,
+    pub(crate) request: SolveRequest,
+    pub(crate) submitted: Instant,
+    pub(crate) reply: Sender<SolveResponse>,
+}
+
+/// A fixed pool of worker threads consuming [`Job`]s.
+pub(crate) struct JobExecutor {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl JobExecutor {
+    pub(crate) fn start(num_workers: usize, state: Arc<EngineState>) -> Self {
+        let num_workers = num_workers.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..num_workers)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("tagdm-engine-worker-{index}"))
+                    .spawn(move || worker_loop(&receiver, &state))
+                    .expect("worker threads spawn")
+            })
+            .collect();
+        JobExecutor {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    pub(crate) fn submit(&self, job: Job) -> Result<(), EngineError> {
+        self.sender
+            .as_ref()
+            .ok_or(EngineError::Shutdown)?
+            .send(job)
+            .map_err(|_| EngineError::Shutdown)
+    }
+
+    pub(crate) fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for JobExecutor {
+    fn drop(&mut self) {
+        // Closing the channel ends each worker's recv loop; queued jobs are answered
+        // first because workers drain the queue before observing the disconnect.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, state: &EngineState) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => run_job(state, job),
+            Err(_) => return, // sender dropped: shutdown
+        }
+    }
+}
+
+fn run_job(state: &EngineState, job: Job) {
+    let queue_wait = job.submitted.elapsed();
+    state.metrics.record_queue_wait(queue_wait);
+    let started = Instant::now();
+    let deadline = job.request.deadline.map(|d| job.submitted + d);
+
+    let respond = |result, cache, deadline_hit| {
+        state.metrics.job_completed();
+        // A dropped ticket just means nobody is waiting for this answer.
+        let _ = job.reply.send(SolveResponse {
+            job: job.id,
+            result,
+            cache,
+            deadline_hit,
+            queue_wait,
+            total: job.submitted.elapsed(),
+        });
+    };
+
+    // A deadline that fired while the job was queued: don't start the solve at all.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        state.metrics.job_expired();
+        respond(
+            Err(EngineError::DeadlineExpiredInQueue { waited: queue_wait }),
+            CacheReport::default(),
+            true,
+        );
+        return;
+    }
+
+    if let Err(message) = job.request.problem.validate() {
+        respond(
+            Err(EngineError::InvalidProblem(message)),
+            CacheReport::default(),
+            false,
+        );
+        return;
+    }
+
+    let (context, context_hit) = match state.resolve_context(&job.request.context) {
+        Ok(resolved) => resolved,
+        Err(error) => {
+            respond(Err(error), CacheReport::default(), false);
+            return;
+        }
+    };
+
+    let key = EngineState::outcome_key(
+        &job.request.context.key(),
+        &job.request.solver,
+        &job.request.problem,
+    );
+    if let Some(outcome) = state.lookup_outcome(&key) {
+        state.metrics.record_solve(started.elapsed(), true);
+        respond(
+            Ok(outcome),
+            CacheReport {
+                context_hit,
+                outcome_hit: true,
+            },
+            false,
+        );
+        return;
+    }
+
+    let token = match deadline {
+        Some(deadline) => CancelToken::with_deadline(deadline),
+        None => CancelToken::new(),
+    };
+    let solver = job.request.solver.instantiate(&job.request.problem);
+    let outcome = solver.solve_cancellable(&context, &job.request.problem, &token);
+    let deadline_hit = token.is_cancelled();
+    state.metrics.record_solve(started.elapsed(), false);
+    if deadline_hit {
+        // A truncated search is not the canonical answer; never cache it.
+        state.metrics.job_expired();
+    } else {
+        state.store_outcome(key, outcome.clone());
+    }
+    respond(
+        Ok(outcome),
+        CacheReport {
+            context_hit,
+            outcome_hit: false,
+        },
+        deadline_hit,
+    );
+}

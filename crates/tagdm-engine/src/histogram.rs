@@ -1,0 +1,180 @@
+//! Lock-free latency histograms with logarithmic buckets.
+//!
+//! Recording is a handful of relaxed atomic operations, so worker threads can stamp
+//! every job without contending. Buckets are powers of two in microseconds: bucket `i`
+//! holds durations whose microsecond count has bit length `i`, i.e. `[2^(i-1), 2^i)`.
+//! That gives ~2× resolution from 1 µs to ~9 minutes in 40 buckets, which is plenty to
+//! tell a cache-hit path (microseconds) from a full solve (milliseconds and up).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+const NUM_BUCKETS: usize = 40;
+
+fn bucket_index(micros: u64) -> usize {
+    ((u64::BITS - micros.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+}
+
+fn bucket_upper_bound_micros(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A concurrent histogram of durations.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&self, duration: Duration) {
+        let micros = duration.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram's statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum_micros.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50_us: quantile(&buckets, count, 0.50),
+            p95_us: quantile(&buckets, count, 0.95),
+            max_us: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The quantile's bucket upper bound in microseconds (0 for an empty histogram).
+fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((count as f64 * q).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (index, &bucket_count) in buckets.iter().enumerate() {
+        cumulative += bucket_count;
+        if cumulative >= target {
+            return bucket_upper_bound_micros(index);
+        }
+    }
+    bucket_upper_bound_micros(NUM_BUCKETS - 1)
+}
+
+/// Summary statistics of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Exact mean in microseconds (from the running sum, not the buckets).
+    pub mean_us: f64,
+    /// Median, as the upper bound of its power-of-two bucket, in microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, as the upper bound of its power-of-two bucket, in microseconds.
+    pub p95_us: u64,
+    /// Exact maximum in microseconds.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Render as `count=… mean=…µs p50≤…µs p95≤…µs max=…µs`.
+    pub fn render(&self) -> String {
+        format!(
+            "count={} mean={:.1}µs p50≤{}µs p95≤{}µs max={}µs",
+            self.count, self.mean_us, self.p50_us, self.p95_us, self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeroes() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_us, 0.0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(30));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_us, 20.0);
+        assert_eq!(s.max_us, 30);
+    }
+
+    #[test]
+    fn quantiles_respect_bucket_ordering() {
+        let h = LatencyHistogram::new();
+        for _ in 0..95 {
+            h.record(Duration::from_micros(5)); // bucket [4, 7]
+        }
+        for _ in 0..5 {
+            h.record(Duration::from_micros(5_000)); // bucket [4096, 8191]
+        }
+        let s = h.snapshot();
+        assert!(s.p50_us <= 7, "median bucket bound {}", s.p50_us);
+        assert!(s.p50_us >= 5);
+        assert!(s.p95_us <= 7, "95% of samples are small");
+        assert_eq!(s.max_us, 5_000);
+        assert!(s.render().contains("count=100"));
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        let mut last = 0;
+        for micros in [1u64, 2, 3, 8, 100, 5_000, 1 << 30, u64::MAX] {
+            let idx = bucket_index(micros);
+            assert!(idx >= last);
+            last = idx;
+            assert!(idx < NUM_BUCKETS);
+        }
+    }
+}

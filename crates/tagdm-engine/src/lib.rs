@@ -1,0 +1,63 @@
+//! # tagdm-engine
+//!
+//! A long-lived, concurrent mining service over the TagDM framework: the subsystem
+//! that turns the one-shot solvers of `tagdm-core` into something a production
+//! deployment can keep resident and hammer with mixed workloads.
+//!
+//! Three pieces, composed by [`Engine`]:
+//!
+//! * **Context caching** — datasets are registered once; mining contexts (the
+//!   expensive LDA/tf·idf signature precomputations) are memoized behind an LRU cache
+//!   keyed by `(dataset, grouping scheme, summarizer)` ([`ContextSpec::key`]), next to
+//!   caches for pairwise objective matrices and whole solver outcomes. Pre-built
+//!   contexts can be pinned under explicit names ([`Engine::install_context`]) for
+//!   corpora no grouping recipe describes.
+//! * **Job execution** — typed [`SolveRequest`]s (problem + solver choice + optional
+//!   deadline) run on a fixed worker pool; responses come back over per-job channels
+//!   as [`SolveResponse`]s. Deadlines cancel cooperatively via
+//!   [`CancelToken`](tagdm_core::solvers::CancelToken): an expired solve returns the
+//!   best result found so far and is flagged, never cached.
+//! * **Metrics** — atomic counters and lock-free latency histograms for cache
+//!   hits/misses, queue wait and solve time, exposed as a serializable
+//!   [`MetricsSnapshot`] via [`Engine::metrics`].
+//!
+//! ```
+//! use tagdm_core::catalog::{problem_1, ProblemParams};
+//! use tagdm_core::context::SummarizerChoice;
+//! use tagdm_data::generator::{GeneratorConfig, MovieLensStyleGenerator};
+//! use tagdm_engine::{ContextSpec, Engine, SolveRequest, SolverChoice};
+//!
+//! let engine = Engine::with_defaults();
+//! engine.register_dataset("ml", MovieLensStyleGenerator::new(GeneratorConfig::small()).generate());
+//!
+//! let spec = ContextSpec::grouped(
+//!     "ml",
+//!     &[("user", "gender"), ("item", "genre")],
+//!     5,
+//!     SummarizerChoice::FrequencyNormalized,
+//! );
+//! let params = ProblemParams { k: 3, min_support: 5, user_threshold: 0.2, item_threshold: 0.2 };
+//! let response = engine.solve(SolveRequest::new(spec, problem_1(params), SolverChoice::Recommended));
+//! assert!(response.result.is_ok());
+//! assert!(engine.metrics().jobs_completed >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod engine;
+mod error;
+mod executor;
+pub mod histogram;
+mod job;
+pub mod metrics;
+mod spec;
+mod state;
+
+pub use engine::{Engine, EngineConfig};
+pub use error::EngineError;
+pub use histogram::HistogramSnapshot;
+pub use job::{CacheReport, JobId, JobTicket, SolveRequest, SolveResponse, SolverChoice};
+pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use spec::{ContextKey, ContextSpec};

@@ -1,0 +1,251 @@
+//! Built-in engine observability: atomic counters plus latency histograms.
+//!
+//! Every cache layer and the job executor stamp [`EngineMetrics`] as they work; a
+//! [`snapshot`](EngineMetrics::snapshot) is a consistent-enough point-in-time copy
+//! (individual loads are relaxed — counters may be mid-update across fields, which is
+//! fine for monitoring). The snapshot is serializable and renders as a plain-text
+//! report for examples and operators.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// Live counters and histograms shared by the engine's caches and workers.
+#[derive(Default)]
+pub struct EngineMetrics {
+    /// Jobs accepted by [`Engine::submit`](crate::Engine::submit).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs whose response was sent (including errors and expiries).
+    pub jobs_completed: AtomicU64,
+    /// Jobs whose deadline fired — while queued or mid-solve.
+    pub jobs_expired: AtomicU64,
+    /// Context-cache hits (including installed contexts).
+    pub context_hits: AtomicU64,
+    /// Context-cache misses (each one paid a full context build).
+    pub context_misses: AtomicU64,
+    /// Solver-outcome cache hits.
+    pub outcome_hits: AtomicU64,
+    /// Solver-outcome cache misses (each one ran a solver).
+    pub outcome_misses: AtomicU64,
+    /// Pairwise objective-matrix cache hits.
+    pub matrix_hits: AtomicU64,
+    /// Pairwise objective-matrix cache misses.
+    pub matrix_misses: AtomicU64,
+    /// Time jobs spent queued before a worker picked them up.
+    pub queue_wait: LatencyHistogram,
+    /// Time spent building mining contexts (cache-miss path only).
+    pub context_build: LatencyHistogram,
+    /// Worker time for jobs answered from the outcome cache.
+    pub solve_hit: LatencyHistogram,
+    /// Worker time for jobs that ran a solver.
+    pub solve_miss: LatencyHistogram,
+}
+
+impl EngineMetrics {
+    fn add(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn job_submitted(&self) {
+        Self::add(&self.jobs_submitted);
+    }
+
+    pub(crate) fn job_completed(&self) {
+        Self::add(&self.jobs_completed);
+    }
+
+    pub(crate) fn job_expired(&self) {
+        Self::add(&self.jobs_expired);
+    }
+
+    pub(crate) fn context_lookup(&self, hit: bool) {
+        Self::add(if hit {
+            &self.context_hits
+        } else {
+            &self.context_misses
+        });
+    }
+
+    pub(crate) fn outcome_lookup(&self, hit: bool) {
+        Self::add(if hit {
+            &self.outcome_hits
+        } else {
+            &self.outcome_misses
+        });
+    }
+
+    pub(crate) fn matrix_lookup(&self, hit: bool) {
+        Self::add(if hit {
+            &self.matrix_hits
+        } else {
+            &self.matrix_misses
+        });
+    }
+
+    pub(crate) fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait);
+    }
+
+    pub(crate) fn record_context_build(&self, elapsed: Duration) {
+        self.context_build.record(elapsed);
+    }
+
+    pub(crate) fn record_solve(&self, elapsed: Duration, outcome_hit: bool) {
+        if outcome_hit {
+            self.solve_hit.record(elapsed);
+        } else {
+            self.solve_miss.record(elapsed);
+        }
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            jobs_submitted: load(&self.jobs_submitted),
+            jobs_completed: load(&self.jobs_completed),
+            jobs_expired: load(&self.jobs_expired),
+            context_hits: load(&self.context_hits),
+            context_misses: load(&self.context_misses),
+            outcome_hits: load(&self.outcome_hits),
+            outcome_misses: load(&self.outcome_misses),
+            matrix_hits: load(&self.matrix_hits),
+            matrix_misses: load(&self.matrix_misses),
+            queue_wait: self.queue_wait.snapshot(),
+            context_build: self.context_build.snapshot(),
+            solve_hit: self.solve_hit.snapshot(),
+            solve_miss: self.solve_miss.snapshot(),
+        }
+    }
+}
+
+/// Serializable point-in-time view of [`EngineMetrics`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted by the engine.
+    pub jobs_submitted: u64,
+    /// Jobs answered (success, error or expiry).
+    pub jobs_completed: u64,
+    /// Jobs whose deadline fired.
+    pub jobs_expired: u64,
+    /// Context-cache hits.
+    pub context_hits: u64,
+    /// Context-cache misses.
+    pub context_misses: u64,
+    /// Outcome-cache hits.
+    pub outcome_hits: u64,
+    /// Outcome-cache misses.
+    pub outcome_misses: u64,
+    /// Objective-matrix cache hits.
+    pub matrix_hits: u64,
+    /// Objective-matrix cache misses.
+    pub matrix_misses: u64,
+    /// Queue-wait latency distribution.
+    pub queue_wait: HistogramSnapshot,
+    /// Context-build latency distribution (misses only).
+    pub context_build: HistogramSnapshot,
+    /// Worker latency for outcome-cache hits.
+    pub solve_hit: HistogramSnapshot,
+    /// Worker latency for jobs that ran a solver.
+    pub solve_miss: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of context lookups served from cache (0 when there were none).
+    pub fn context_hit_ratio(&self) -> f64 {
+        ratio(self.context_hits, self.context_misses)
+    }
+
+    /// Fraction of outcome lookups served from cache (0 when there were none).
+    pub fn outcome_hit_ratio(&self) -> f64 {
+        ratio(self.outcome_hits, self.outcome_misses)
+    }
+
+    /// Multi-line plain-text report, e.g. for `examples/engine_service.rs`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("engine metrics\n");
+        out.push_str(&format!(
+            "  jobs      submitted={} completed={} expired={}\n",
+            self.jobs_submitted, self.jobs_completed, self.jobs_expired
+        ));
+        out.push_str(&format!(
+            "  contexts  hits={} misses={} (hit ratio {:.0}%)\n",
+            self.context_hits,
+            self.context_misses,
+            100.0 * self.context_hit_ratio()
+        ));
+        out.push_str(&format!(
+            "  outcomes  hits={} misses={} (hit ratio {:.0}%)\n",
+            self.outcome_hits,
+            self.outcome_misses,
+            100.0 * self.outcome_hit_ratio()
+        ));
+        out.push_str(&format!(
+            "  matrices  hits={} misses={}\n",
+            self.matrix_hits, self.matrix_misses
+        ));
+        out.push_str(&format!("  queue wait    {}\n", self.queue_wait.render()));
+        out.push_str(&format!(
+            "  context build {}\n",
+            self.context_build.render()
+        ));
+        out.push_str(&format!("  solve (hit)   {}\n", self.solve_hit.render()));
+        out.push_str(&format!("  solve (miss)  {}\n", self.solve_miss.render()));
+        out
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let metrics = EngineMetrics::default();
+        metrics.job_submitted();
+        metrics.job_submitted();
+        metrics.job_completed();
+        metrics.context_lookup(true);
+        metrics.context_lookup(false);
+        metrics.outcome_lookup(true);
+        metrics.record_solve(Duration::from_micros(3), true);
+        metrics.record_solve(Duration::from_millis(4), false);
+        metrics.record_queue_wait(Duration::from_micros(15));
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.jobs_submitted, 2);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.context_hits, 1);
+        assert_eq!(snap.context_misses, 1);
+        assert_eq!(snap.outcome_hits, 1);
+        assert_eq!(snap.outcome_misses, 0);
+        assert!((snap.context_hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(snap.outcome_hit_ratio(), 1.0);
+        assert_eq!(snap.solve_hit.count, 1);
+        assert_eq!(snap.solve_miss.count, 1);
+        assert!(snap.solve_hit.mean_us < snap.solve_miss.mean_us);
+        let report = snap.render();
+        assert!(report.contains("hits=1"));
+        assert!(report.contains("solve (hit)"));
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let snap = EngineMetrics::default().snapshot();
+        assert_eq!(snap.context_hit_ratio(), 0.0);
+        assert_eq!(snap.outcome_hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Shared engine state: the dataset registry, the memoization caches and the metrics.
+//!
+//! One `EngineState` is shared (via `Arc`) between the public [`Engine`](crate::Engine)
+//! handle and every worker thread. Locks are held only for lookups and insertions —
+//! never across a context build or a solve — so workers serialize on the caches for
+//! microseconds at a time. Two workers racing on the same missing context may both
+//! build it; builds are deterministic, so the duplicated work is a latency cost, not a
+//! correctness one (and the second insert simply overwrites the first with an equal
+//! value).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use tagdm_core::context::MiningContext;
+use tagdm_core::problem::TagDmProblem;
+use tagdm_core::solvers::SolverOutcome;
+use tagdm_data::dataset::Dataset;
+use tagdm_data::group::GroupingScheme;
+use tagdm_geometry::distance::DistanceMatrix;
+
+use crate::cache::LruCache;
+use crate::error::EngineError;
+use crate::job::SolverChoice;
+use crate::metrics::EngineMetrics;
+use crate::spec::{ContextKey, ContextSpec};
+
+/// Key of a cached solver outcome: the context identity plus a canonical rendering of
+/// the problem and the solver choice.
+pub(crate) type OutcomeKey = (ContextKey, String);
+
+pub(crate) struct EngineState {
+    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    /// Pre-built contexts pinned under explicit names (never LRU-evicted).
+    installed: RwLock<HashMap<String, Arc<MiningContext>>>,
+    contexts: Mutex<LruCache<ContextKey, Arc<MiningContext>>>,
+    outcomes: Mutex<LruCache<OutcomeKey, SolverOutcome>>,
+    matrices: Mutex<LruCache<OutcomeKey, Arc<DistanceMatrix>>>,
+    pub(crate) metrics: EngineMetrics,
+}
+
+impl EngineState {
+    pub(crate) fn new(
+        context_capacity: usize,
+        outcome_capacity: usize,
+        matrix_capacity: usize,
+    ) -> Self {
+        EngineState {
+            datasets: RwLock::new(HashMap::new()),
+            installed: RwLock::new(HashMap::new()),
+            contexts: Mutex::new(LruCache::new(context_capacity)),
+            outcomes: Mutex::new(LruCache::new(outcome_capacity)),
+            matrices: Mutex::new(LruCache::new(matrix_capacity)),
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    pub(crate) fn register_dataset(&self, name: String, dataset: Dataset) -> Arc<Dataset> {
+        let dataset = Arc::new(dataset);
+        self.datasets
+            .write()
+            .expect("dataset registry lock poisoned")
+            .insert(name, Arc::clone(&dataset));
+        dataset
+    }
+
+    pub(crate) fn dataset(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.datasets
+            .read()
+            .expect("dataset registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    pub(crate) fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .datasets
+            .read()
+            .expect("dataset registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    pub(crate) fn install_context(
+        &self,
+        name: String,
+        context: MiningContext,
+    ) -> Arc<MiningContext> {
+        let context = Arc::new(context);
+        self.installed
+            .write()
+            .expect("installed-context lock poisoned")
+            .insert(name, Arc::clone(&context));
+        context
+    }
+
+    /// Resolve a context spec to a (possibly cached) context. Returns the context and
+    /// whether it was a cache hit; records hit/miss and build-time metrics.
+    pub(crate) fn resolve_context(
+        &self,
+        spec: &ContextSpec,
+    ) -> Result<(Arc<MiningContext>, bool), EngineError> {
+        match spec {
+            ContextSpec::Installed { name } => {
+                let context = self
+                    .installed
+                    .read()
+                    .expect("installed-context lock poisoned")
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| EngineError::UnknownContext(name.clone()))?;
+                self.metrics.context_lookup(true);
+                Ok((context, true))
+            }
+            ContextSpec::Grouped {
+                dataset,
+                grouping,
+                min_group_size,
+                summarizer,
+            } => {
+                let key = spec.key();
+                if let Some(context) = self
+                    .contexts
+                    .lock()
+                    .expect("context cache lock poisoned")
+                    .get(&key)
+                {
+                    self.metrics.context_lookup(true);
+                    return Ok((context, true));
+                }
+                // Miss: build outside any lock.
+                let dataset = self
+                    .dataset(dataset)
+                    .ok_or_else(|| EngineError::UnknownDataset(dataset.clone()))?;
+                let started = Instant::now();
+                let attrs: Vec<(&str, &str)> = grouping
+                    .iter()
+                    .map(|(dim, attr)| (dim.as_str(), attr.as_str()))
+                    .collect();
+                let groups = GroupingScheme::over(&dataset, &attrs)
+                    .map_err(|e| EngineError::InvalidGrouping(e.to_string()))?
+                    .min_group_size(*min_group_size)
+                    .enumerate(&dataset);
+                let context = Arc::new(MiningContext::build(&dataset, groups, *summarizer));
+                self.metrics.record_context_build(started.elapsed());
+                self.metrics.context_lookup(false);
+                self.contexts
+                    .lock()
+                    .expect("context cache lock poisoned")
+                    .insert(key, Arc::clone(&context));
+                Ok((context, false))
+            }
+        }
+    }
+
+    /// The outcome-cache key for a request triple.
+    pub(crate) fn outcome_key(
+        context_key: &ContextKey,
+        solver: &SolverChoice,
+        problem: &TagDmProblem,
+    ) -> OutcomeKey {
+        let fingerprint = format!(
+            "{}|{}",
+            solver.tag(),
+            serde_json::to_string(problem).expect("problems serialize infallibly")
+        );
+        (context_key.clone(), fingerprint)
+    }
+
+    /// Look up a cached outcome, recording the hit/miss.
+    pub(crate) fn lookup_outcome(&self, key: &OutcomeKey) -> Option<SolverOutcome> {
+        let cached = self
+            .outcomes
+            .lock()
+            .expect("outcome cache lock poisoned")
+            .get(key);
+        self.metrics.outcome_lookup(cached.is_some());
+        cached
+    }
+
+    pub(crate) fn store_outcome(&self, key: OutcomeKey, outcome: SolverOutcome) {
+        self.outcomes
+            .lock()
+            .expect("outcome cache lock poisoned")
+            .insert(key, outcome);
+    }
+
+    /// The memoized pairwise objective matrix for a (context, problem-objectives) pair —
+    /// the `S_G` matrix DV-FDP-style solvers and analyses consume.
+    pub(crate) fn objective_matrix(
+        &self,
+        spec: &ContextSpec,
+        problem: &TagDmProblem,
+    ) -> Result<Arc<DistanceMatrix>, EngineError> {
+        let objectives = serde_json::to_string(&problem.objectives)
+            .expect("objective specs serialize infallibly");
+        let key = (spec.key(), objectives);
+        if let Some(matrix) = self
+            .matrices
+            .lock()
+            .expect("matrix cache lock poisoned")
+            .get(&key)
+        {
+            self.metrics.matrix_lookup(true);
+            return Ok(matrix);
+        }
+        let (context, _) = self.resolve_context(spec)?;
+        let matrix = Arc::new(DistanceMatrix::from_fn(context.num_groups(), |i, j| {
+            problem.pairwise_objective(&context, i, j)
+        }));
+        self.metrics.matrix_lookup(false);
+        self.matrices
+            .lock()
+            .expect("matrix cache lock poisoned")
+            .insert(key, Arc::clone(&matrix));
+        Ok(matrix)
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end tests of the engine as a service: a mixed concurrent workload must give
+//! bit-identical answers to direct `Solver::solve` calls, and repeated requests must be
+//! served from the outcome cache.
+
+use std::time::Duration;
+
+use tagdm_core::catalog::{problem_1, problem_2, problem_4, problem_6, ProblemParams};
+use tagdm_core::context::{MiningContext, SummarizerChoice};
+use tagdm_core::problem::TagDmProblem;
+use tagdm_core::solvers::ConstraintMode;
+use tagdm_data::generator::{GeneratorConfig, MovieLensStyleGenerator};
+use tagdm_data::group::GroupingScheme;
+use tagdm_engine::{ContextSpec, Engine, EngineConfig, EngineError, SolveRequest, SolverChoice};
+
+const GROUPING: [(&str, &str); 3] = [("user", "gender"), ("user", "age"), ("item", "genre")];
+const MIN_GROUP_SIZE: usize = 5;
+const SUMMARIZER: SummarizerChoice = SummarizerChoice::FrequencyNormalized;
+
+fn params() -> ProblemParams {
+    ProblemParams {
+        k: 3,
+        min_support: 5,
+        user_threshold: 0.2,
+        item_threshold: 0.2,
+    }
+}
+
+/// The same corpus the engine tests register, built the way the engine builds it.
+fn direct_context() -> MiningContext {
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+    let groups = GroupingScheme::over(&dataset, &GROUPING)
+        .expect("grouping attributes exist")
+        .min_group_size(MIN_GROUP_SIZE)
+        .enumerate(&dataset);
+    MiningContext::build(&dataset, groups, SUMMARIZER)
+}
+
+fn engine_with_registered_corpus(workers: usize) -> (Engine, ContextSpec) {
+    let engine = Engine::new(EngineConfig::default().with_workers(workers));
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+    engine.register_dataset("ml-small", dataset);
+    let spec = ContextSpec::grouped("ml-small", &GROUPING, MIN_GROUP_SIZE, SUMMARIZER);
+    (engine, spec)
+}
+
+/// A mixed Table-1 workload covering every solver family.
+fn mixed_workload() -> Vec<(TagDmProblem, SolverChoice)> {
+    let params = params();
+    vec![
+        (problem_1(params), SolverChoice::Exact),
+        (problem_1(params), SolverChoice::SmLsh(ConstraintMode::Fold)),
+        (
+            problem_2(params),
+            SolverChoice::SmLsh(ConstraintMode::Filter),
+        ),
+        (problem_2(params), SolverChoice::ExactCapped(100_000)),
+        (problem_4(params), SolverChoice::Recommended),
+        (problem_6(params), SolverChoice::Exact),
+        (problem_6(params), SolverChoice::DvFdp(ConstraintMode::Fold)),
+        (problem_6(params), SolverChoice::Recommended),
+    ]
+}
+
+#[test]
+fn concurrent_engine_solves_match_direct_solver_calls() {
+    let (engine, spec) = engine_with_registered_corpus(4);
+    assert!(engine.num_workers() >= 4);
+    let context = direct_context();
+    let workload = mixed_workload();
+
+    // Everything submitted up front: the batch runs concurrently across the pool.
+    let responses = engine.solve_batch(
+        workload
+            .iter()
+            .map(|(problem, solver)| SolveRequest::new(spec.clone(), problem.clone(), *solver))
+            .collect(),
+    );
+
+    assert_eq!(responses.len(), workload.len());
+    for ((problem, choice), response) in workload.iter().zip(responses) {
+        let engine_outcome = response.result.expect("mixed workload solves succeed");
+        let direct = choice.instantiate(problem).solve(&context, problem);
+        // Everything but wall-clock time must be bit-identical to the direct call.
+        assert_eq!(engine_outcome.solver, direct.solver);
+        assert_eq!(engine_outcome.groups, direct.groups);
+        assert_eq!(engine_outcome.objective, direct.objective);
+        assert_eq!(engine_outcome.feasible, direct.feasible);
+        assert_eq!(
+            engine_outcome.candidates_evaluated,
+            direct.candidates_evaluated
+        );
+        assert!(!response.deadline_hit);
+    }
+
+    let metrics = engine.metrics();
+    assert_eq!(metrics.jobs_submitted, workload.len() as u64);
+    assert_eq!(metrics.jobs_completed, workload.len() as u64);
+    // One grouped context build, shared by every job in the batch (two may race on the
+    // first-miss build, so at least one miss rather than exactly one).
+    assert!(metrics.context_misses >= 1);
+    assert_eq!(
+        metrics.context_hits + metrics.context_misses,
+        workload.len() as u64
+    );
+}
+
+#[test]
+fn repeated_request_is_a_cache_hit_with_an_equal_outcome() {
+    let (engine, spec) = engine_with_registered_corpus(4);
+    let request = SolveRequest::new(
+        spec,
+        problem_1(params()),
+        SolverChoice::SmLsh(ConstraintMode::Fold),
+    );
+
+    let first = engine.solve(request.clone());
+    assert!(!first.cache.outcome_hit);
+    let first_outcome = first.result.expect("first solve succeeds");
+
+    let second = engine.solve(request);
+    assert!(
+        second.cache.outcome_hit,
+        "repeat must hit the outcome cache"
+    );
+    assert!(
+        second.cache.context_hit,
+        "repeat must hit the context cache"
+    );
+    let second_outcome = second.result.expect("cached solve succeeds");
+
+    // Full structural equality, `elapsed` included: the cache returns the stored
+    // outcome, it does not re-run the solver.
+    assert_eq!(first_outcome, second_outcome);
+
+    let metrics = engine.metrics();
+    assert_eq!(metrics.outcome_hits, 1);
+    assert_eq!(metrics.outcome_misses, 1);
+    assert_eq!(metrics.solve_hit.count, 1);
+    assert_eq!(metrics.solve_miss.count, 1);
+}
+
+#[test]
+fn zero_deadline_expires_in_queue_without_running_the_solver() {
+    let (engine, spec) = engine_with_registered_corpus(1);
+    let request = SolveRequest::new(spec, problem_1(params()), SolverChoice::Exact)
+        .with_deadline(Duration::ZERO);
+    let response = engine.solve(request);
+    assert!(response.deadline_hit);
+    match response.result {
+        Err(EngineError::DeadlineExpiredInQueue { .. }) => {}
+        other => panic!("expected a queue-expiry error, got {other:?}"),
+    }
+    assert_eq!(engine.metrics().jobs_expired, 1);
+}
+
+#[test]
+fn unknown_names_surface_typed_errors() {
+    let (engine, _) = engine_with_registered_corpus(2);
+    let missing_dataset = engine.solve(SolveRequest::new(
+        ContextSpec::grouped("nope", &GROUPING, MIN_GROUP_SIZE, SUMMARIZER),
+        problem_1(params()),
+        SolverChoice::Recommended,
+    ));
+    assert_eq!(
+        missing_dataset.result,
+        Err(EngineError::UnknownDataset("nope".to_string()))
+    );
+
+    let missing_context = engine.solve(SolveRequest::new(
+        ContextSpec::installed("nope"),
+        problem_1(params()),
+        SolverChoice::Recommended,
+    ));
+    assert_eq!(
+        missing_context.result,
+        Err(EngineError::UnknownContext("nope".to_string()))
+    );
+}

@@ -44,7 +44,7 @@ pub fn max_avg_greedy_with(
                 continue;
             }
             let d = matrix.get(i, j);
-            if best_pair.map_or(true, |(_, _, bd)| d > bd) {
+            if best_pair.is_none_or(|(_, _, bd)| d > bd) {
                 best_pair = Some((i, j, d));
             }
         }
@@ -61,7 +61,7 @@ pub fn max_avg_greedy_with(
                 continue;
             }
             let gain = matrix.distance_to_set(candidate, &selected);
-            if best.map_or(true, |(_, bg)| gain > bg) {
+            if best.is_none_or(|(_, bg)| gain > bg) {
                 best = Some((candidate, gain));
             }
         }
@@ -99,7 +99,7 @@ pub fn max_min_greedy(matrix: &DistanceMatrix, k: usize) -> Vec<usize> {
                 .iter()
                 .map(|&s| matrix.get(candidate, s))
                 .fold(f64::INFINITY, f64::min);
-            if best.map_or(true, |(_, bd)| closest > bd) {
+            if best.is_none_or(|(_, bd)| closest > bd) {
                 best = Some((candidate, closest));
             }
         }
@@ -256,9 +256,23 @@ mod tests {
         let m = line_metric(&[0.0, 0.1, 0.2, 10.0, 10.1, 20.0]);
         let picks = max_min_greedy(&m, 3);
         // One point per cluster maximizes the minimum distance.
-        let clusters: std::collections::HashSet<usize> =
-            picks.iter().map(|&i| if i < 3 { 0 } else if i < 5 { 1 } else { 2 }).collect();
-        assert_eq!(clusters.len(), 3, "picks {picks:?} should cover all clusters");
+        let clusters: std::collections::HashSet<usize> = picks
+            .iter()
+            .map(|&i| {
+                if i < 3 {
+                    0
+                } else if i < 5 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
+        assert_eq!(
+            clusters.len(),
+            3,
+            "picks {picks:?} should cover all clusters"
+        );
     }
 
     proptest! {

@@ -53,7 +53,7 @@ impl DistanceMatrix {
         for i in 1..self.n {
             for j in 0..i {
                 let d = self.get(i, j);
-                if best.map_or(true, |(_, _, bd)| d > bd) {
+                if best.is_none_or(|(_, _, bd)| d > bd) {
                     best = Some((i, j, d));
                 }
             }

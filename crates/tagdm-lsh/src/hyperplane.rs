@@ -58,7 +58,9 @@ impl HyperplaneFamily {
     /// Draw `num_bits` independent hyperplanes for a `dims`-dimensional space.
     pub fn new(dims: usize, num_bits: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let planes = (0..num_bits).map(|_| Hyperplane::random(dims, &mut rng)).collect();
+        let planes = (0..num_bits)
+            .map(|_| Hyperplane::random(dims, &mut rng))
+            .collect();
         HyperplaneFamily { planes }
     }
 

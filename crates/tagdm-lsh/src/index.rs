@@ -74,7 +74,11 @@ impl LshIndex {
                 family: HyperplaneFamily::new(
                     config.dims,
                     config.num_bits,
-                    config.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9).wrapping_add(1),
+                    config
+                        .seed
+                        .wrapping_add(t as u64)
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(1),
                 ),
                 buckets: HashMap::new(),
             })
@@ -235,8 +239,16 @@ mod tests {
         let a = build(8, 2);
         let b = build(8, 2);
         for t in 0..2 {
-            let ba: Vec<_> = a.buckets(t).into_iter().map(|(s, m)| (s.clone(), m.to_vec())).collect();
-            let bb: Vec<_> = b.buckets(t).into_iter().map(|(s, m)| (s.clone(), m.to_vec())).collect();
+            let ba: Vec<_> = a
+                .buckets(t)
+                .into_iter()
+                .map(|(s, m)| (s.clone(), m.to_vec()))
+                .collect();
+            let bb: Vec<_> = b
+                .buckets(t)
+                .into_iter()
+                .map(|(s, m)| (s.clone(), m.to_vec()))
+                .collect();
             assert_eq!(ba, bb);
         }
     }

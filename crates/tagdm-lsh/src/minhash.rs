@@ -157,7 +157,10 @@ mod tests {
         let a = [1u32, 5, 9, 200];
         let b = [200u32, 9, 5, 1]; // order must not matter
         assert_eq!(hasher.signature(&a), hasher.signature(&b));
-        assert_eq!(MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b)), 1.0);
+        assert_eq!(
+            MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b)),
+            1.0
+        );
     }
 
     #[test]
@@ -165,8 +168,7 @@ mod tests {
         let hasher = MinHasher::new(128, 2);
         let a: Vec<u32> = (0..50).collect();
         let b: Vec<u32> = (1000..1050).collect();
-        let estimate =
-            MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b));
+        let estimate = MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b));
         assert!(estimate < 0.1, "disjoint sets estimated at {estimate}");
         assert_eq!(exact_jaccard(&a, &b), 0.0);
     }
@@ -178,8 +180,7 @@ mod tests {
         let a: Vec<u32> = (0..100).collect();
         let b: Vec<u32> = (50..150).collect();
         let exact = exact_jaccard(&a, &b);
-        let estimate =
-            MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b));
+        let estimate = MinHasher::estimate_jaccard(&hasher.signature(&a), &hasher.signature(&b));
         assert!((exact - 1.0 / 3.0).abs() < 1e-12);
         assert!(
             (estimate - exact).abs() < 0.12,
@@ -208,7 +209,10 @@ mod tests {
         assert_eq!(index.num_items(), 3);
         let candidates = index.query(&sets[0]);
         assert!(candidates.contains(&0));
-        assert!(candidates.contains(&1), "near-duplicate should collide in some band");
+        assert!(
+            candidates.contains(&1),
+            "near-duplicate should collide in some band"
+        );
         assert!(!candidates.contains(&2) || candidates.len() == 3);
     }
 

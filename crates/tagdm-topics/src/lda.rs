@@ -79,8 +79,14 @@ impl LdaConfig {
     fn validate(&self) {
         assert!(self.num_topics > 0, "LDA needs at least one topic");
         assert!(self.iterations > 0, "LDA needs at least one iteration");
-        assert!(self.burn_in < self.iterations, "burn-in must be shorter than training");
-        assert!(self.alpha > 0.0 && self.beta > 0.0, "Dirichlet priors must be positive");
+        assert!(
+            self.burn_in < self.iterations,
+            "burn-in must be shorter than training"
+        );
+        assert!(
+            self.alpha > 0.0 && self.beta > 0.0,
+            "Dirichlet priors must be positive"
+        );
     }
 }
 
@@ -108,7 +114,7 @@ impl LdaModel {
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         // Flatten documents into token streams.
-        let docs: Vec<Vec<u32>> = corpus.documents().iter().map(|d| flatten(d)).collect();
+        let docs: Vec<Vec<u32>> = corpus.documents().iter().map(flatten).collect();
         let doc_lengths: Vec<usize> = docs.iter().map(Vec::len).collect();
 
         // Current Gibbs state.
@@ -308,7 +314,9 @@ impl LdaModel {
     pub fn log_likelihood(&self, corpus: &Corpus) -> f64 {
         let mut ll = 0.0;
         let mut tokens = 0u64;
-        let phis: Vec<Vec<f64>> = (0..self.num_topics()).map(|t| self.topic_terms(t)).collect();
+        let phis: Vec<Vec<f64>> = (0..self.num_topics())
+            .map(|t| self.topic_terms(t))
+            .collect();
         for (d, doc) in corpus.documents().iter().enumerate() {
             let theta = self.document_topics(d);
             for &(w, c) in doc {
@@ -341,7 +349,10 @@ pub struct LdaSummarizer {
 impl LdaSummarizer {
     /// Create a summarizer with the given LDA configuration.
     pub fn new(config: LdaConfig) -> Self {
-        LdaSummarizer { config, model: None }
+        LdaSummarizer {
+            config,
+            model: None,
+        }
     }
 
     /// The trained model, if `summarize` has been called.
@@ -496,7 +507,10 @@ mod tests {
         for t in 0..2 {
             let top: Vec<u32> = model.top_terms(t, 3).into_iter().map(|(w, _)| w).collect();
             let theme_a = top.iter().filter(|&&w| w < 5).count();
-            assert!(theme_a == 0 || theme_a == 3, "topic {t} mixes themes: {top:?}");
+            assert!(
+                theme_a == 0 || theme_a == 3,
+                "topic {t} mixes themes: {top:?}"
+            );
         }
     }
 

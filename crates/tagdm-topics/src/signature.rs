@@ -90,11 +90,7 @@ impl TagSignature {
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Sum of weights (L1 norm, since weights are non-negative).

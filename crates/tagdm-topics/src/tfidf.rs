@@ -18,7 +18,9 @@ pub struct TfIdfSummarizer {
 impl TfIdfSummarizer {
     /// Standard tf·idf with raw term frequencies.
     pub fn new() -> Self {
-        TfIdfSummarizer { sublinear_tf: false }
+        TfIdfSummarizer {
+            sublinear_tf: false,
+        }
     }
 
     /// tf·idf with sublinear (logarithmic) term-frequency scaling.
@@ -50,7 +52,8 @@ impl GroupSummarizer for TfIdfSummarizer {
             .iter()
             .map(|doc| {
                 // Merge duplicate term entries before applying the sublinear transform.
-                let mut counts: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+                let mut counts: std::collections::HashMap<u32, f64> =
+                    std::collections::HashMap::new();
                 for &(t, c) in doc {
                     *counts.entry(t).or_insert(0.0) += f64::from(c);
                 }
@@ -82,7 +85,11 @@ mod tests {
         // Term 0 appears in every document (low idf), term 1 in two, term 2 in one.
         Corpus::from_documents(
             3,
-            vec![vec![(0, 2), (1, 1)], vec![(0, 1), (1, 1), (2, 3)], vec![(0, 4)]],
+            vec![
+                vec![(0, 2), (1, 1)],
+                vec![(0, 1), (1, 1), (2, 3)],
+                vec![(0, 4)],
+            ],
         )
     }
 
@@ -96,10 +103,7 @@ mod tests {
 
     #[test]
     fn rare_terms_outweigh_common_terms_with_equal_tf() {
-        let corpus = Corpus::from_documents(
-            2,
-            vec![vec![(0, 2), (1, 2)], vec![(0, 5)]],
-        );
+        let corpus = Corpus::from_documents(2, vec![vec![(0, 2), (1, 2)], vec![(0, 5)]]);
         let sigs = TfIdfSummarizer::new().summarize(&corpus);
         // In doc 0, term 1 (unique to it) should carry more weight than term 0 (shared).
         assert!(sigs[0].weight(1) > sigs[0].weight(0));

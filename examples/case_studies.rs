@@ -31,7 +31,11 @@ fn busiest_value(dataset: &Dataset, dimension: &str, attribute: &str) -> String 
             .to_string();
         *counts.entry(name).or_insert(0) += 1;
     }
-    counts.into_iter().max_by_key(|(_, c)| *c).map(|(n, _)| n).expect("non-empty corpus")
+    counts
+        .into_iter()
+        .max_by_key(|(_, c)| *c)
+        .map(|(n, _)| n)
+        .expect("non-empty corpus")
 }
 
 fn main() {
@@ -48,10 +52,13 @@ fn main() {
     .execute(&dataset);
     println!("  {} tagging actions match the query", slice.num_actions());
 
-    let groups = GroupingScheme::over(&slice, &[("user", "gender"), ("user", "age"), ("item", "genre")])
-        .expect("attributes exist")
-        .min_group_size(3)
-        .enumerate(&slice);
+    let groups = GroupingScheme::over(
+        &slice,
+        &[("user", "gender"), ("user", "age"), ("item", "genre")],
+    )
+    .expect("attributes exist")
+    .min_group_size(3)
+    .enumerate(&slice);
     if groups.len() < 2 {
         println!("  (not enough describable groups under this director for a dual mining run)");
     } else {
@@ -64,16 +71,26 @@ fn main() {
         };
         let problem = catalog::problem_4(params);
         let outcome = DvFdpSolver::new(ConstraintMode::Fold).solve(&ctx, &problem);
-        describe("diverse users, similar movies, most divergent tags", &ctx, &slice, &outcome);
+        describe(
+            "diverse users, similar movies, most divergent tags",
+            &ctx,
+            &slice,
+            &outcome,
+        );
     }
 
     // ---- Case study 2: what does one demographic slice disagree about? --------------
     let state = busiest_value(&dataset, "user", "state");
-    println!("\ncase study 2: analyze tagging behaviour of {{gender = male, state = {state}}} users");
+    println!(
+        "\ncase study 2: analyze tagging behaviour of {{gender = male, state = {state}}} users"
+    );
     let slice = DatasetQuery::matching(
         ConjunctivePredicate::parse(
             &dataset,
-            &[("user", "gender", "male"), ("user", "state", state.as_str())],
+            &[
+                ("user", "gender", "male"),
+                ("user", "state", state.as_str()),
+            ],
         )
         .expect("valid predicate"),
     )

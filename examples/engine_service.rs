@@ -1,0 +1,113 @@
+//! The mining engine as a resident service: a mixed Table-1 workload fired at a
+//! 4-worker `tagdm-engine` pool, twice, plus a deadline-bounded solve.
+//!
+//! The first pass pays every cache miss (context build + solver runs); the second pass
+//! is answered entirely from the outcome cache, so the printed metrics snapshot shows
+//! the hit-path latency sitting far below the miss-path latency.
+//!
+//! Run with `cargo run --example engine_service --release`.
+
+use std::time::Duration;
+
+use tagdm::prelude::*;
+
+fn main() {
+    // --- 1. A resident engine with a registered corpus ------------------------------
+    let engine = Engine::new(EngineConfig::default().with_workers(4));
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+    let stats = dataset.stats();
+    engine.register_dataset("ml-small", dataset);
+    println!(
+        "engine up: {} workers, corpus `ml-small` ({} users, {} movies, {} actions)",
+        engine.num_workers(),
+        stats.num_users,
+        stats.num_items,
+        stats.num_actions
+    );
+
+    let spec = ContextSpec::grouped(
+        "ml-small",
+        &[("user", "gender"), ("user", "age"), ("item", "genre")],
+        5,
+        SummarizerChoice::fast_lda(10),
+    );
+    let params = ProblemParams {
+        k: 3,
+        min_support: 5,
+        user_threshold: 0.2,
+        item_threshold: 0.2,
+    };
+
+    // --- 2. The mixed Table-1 workload: all six problems, recommended solvers --------
+    let requests: Vec<SolveRequest> = catalog::canonical_problems(params)
+        .into_iter()
+        .map(|problem| SolveRequest::new(spec.clone(), problem, SolverChoice::Recommended))
+        .collect();
+
+    println!(
+        "\nfirst pass (cold caches): {} concurrent solves",
+        requests.len()
+    );
+    run_pass(&engine, requests.clone());
+
+    println!(
+        "\nsecond pass (warm caches): the same {} solves",
+        requests.len()
+    );
+    run_pass(&engine, requests);
+
+    // --- 3. A deadline-bounded solve: cancelled cooperatively, best-so-far returned --
+    let strict = SolveRequest::new(
+        spec,
+        catalog::problem_1(params),
+        SolverChoice::Exact, // deliberately not cached: a different solver choice
+    )
+    .with_deadline(Duration::from_millis(2));
+    let response = engine.solve(strict);
+    match &response.result {
+        Ok(outcome) => println!(
+            "\ndeadline solve: {} evaluated {} candidates in {:?} (deadline hit: {})",
+            outcome.solver, outcome.candidates_evaluated, outcome.elapsed, response.deadline_hit
+        ),
+        Err(error) => println!("\ndeadline solve: expired before starting ({error})"),
+    }
+
+    // --- 4. Metrics ------------------------------------------------------------------
+    let metrics = engine.metrics();
+    println!("\n{}", metrics.render());
+    assert!(
+        metrics.outcome_hits >= 1,
+        "the warm pass must hit the outcome cache"
+    );
+    assert!(
+        metrics.solve_hit.mean_us < metrics.solve_miss.mean_us,
+        "cache hits must be faster than solver runs"
+    );
+    println!(
+        "outcome-cache hits: {} (hit path mean {:.0}us vs miss path mean {:.0}us)",
+        metrics.outcome_hits, metrics.solve_hit.mean_us, metrics.solve_miss.mean_us
+    );
+}
+
+fn run_pass(engine: &Engine, requests: Vec<SolveRequest>) {
+    for response in engine.solve_batch(requests) {
+        let outcome = response.result.expect("workload solves succeed");
+        println!(
+            "  [{}{}] {:<10} k={} objective={:.4} total={:?}",
+            if response.cache.context_hit {
+                "ctx+"
+            } else {
+                "ctx-"
+            },
+            if response.cache.outcome_hit {
+                " out+"
+            } else {
+                " out-"
+            },
+            outcome.solver,
+            outcome.groups.len(),
+            outcome.objective,
+            response.total
+        );
+    }
+}

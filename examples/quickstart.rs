@@ -30,7 +30,10 @@ fn main() {
     .expect("attributes exist")
     .min_group_size(5)
     .enumerate(&dataset);
-    println!("candidate describable groups (>= 5 tuples): {}", groups.len());
+    println!(
+        "candidate describable groups (>= 5 tuples): {}",
+        groups.len()
+    );
 
     let ctx = MiningContext::build(&dataset, groups, SummarizerChoice::fast_lda(10));
 

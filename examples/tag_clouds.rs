@@ -11,7 +11,10 @@ fn main() {
     let dataset = MovieLensStyleGenerator::new(GeneratorConfig::medium()).generate();
 
     // Pick the director with the most tagging actions.
-    let director_attr = dataset.item_schema.attribute_id("director").expect("schema has director");
+    let director_attr = dataset
+        .item_schema
+        .attribute_id("director")
+        .expect("schema has director");
     let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     for (_, action) in dataset.actions() {
         let item = dataset.item(action.item);
@@ -37,8 +40,12 @@ fn main() {
     );
 
     // Figure 2: tag signature over users from the most active state only.
-    let state_attr = dataset.user_schema.attribute_id("state").expect("schema has state");
-    let mut state_counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let state_attr = dataset
+        .user_schema
+        .attribute_id("state")
+        .expect("schema has state");
+    let mut state_counts: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
     for &aid in &all.actions {
         let user = dataset.user(dataset.action(aid).user);
         let name = dataset
@@ -59,17 +66,27 @@ fn main() {
         &dataset,
         ConjunctivePredicate::parse(
             &dataset,
-            &[("item", "director", director.as_str()), ("user", "state", state.as_str())],
+            &[
+                ("item", "director", director.as_str()),
+                ("user", "state", state.as_str()),
+            ],
         )
         .unwrap(),
     );
 
     println!("director: {director}   restricted state: {state}\n");
-    print_cloud(&dataset, &all, &format!("Figure 1 — all users ({} actions)", all.len()));
+    print_cloud(
+        &dataset,
+        &all,
+        &format!("Figure 1 — all users ({} actions)", all.len()),
+    );
     print_cloud(
         &dataset,
         &restricted,
-        &format!("Figure 2 — users from {state} ({} actions)", restricted.len()),
+        &format!(
+            "Figure 2 — users from {state} ({} actions)",
+            restricted.len()
+        ),
     );
 
     // Which tags distinguish the restricted signature, as in the paper's discussion of
@@ -82,12 +99,20 @@ fn main() {
         .filter(|(t, _)| !all_top.contains(t))
         .map(|(t, _)| dataset.tags.name(t).unwrap_or("<unknown>").to_string())
         .collect();
-    println!("tags prominent only for {state} users: {}", only_state.join(", "));
+    println!(
+        "tags prominent only for {state} users: {}",
+        only_state.join(", ")
+    );
 }
 
 fn print_cloud(dataset: &Dataset, group: &TaggingActionGroup, title: &str) {
     println!("{title}");
-    let max = group.top_tags(1).first().map(|&(_, c)| c).unwrap_or(1).max(1);
+    let max = group
+        .top_tags(1)
+        .first()
+        .map(|&(_, c)| c)
+        .unwrap_or(1)
+        .max(1);
     for (tag, count) in group.top_tags(15) {
         let name = dataset.tags.name(tag).unwrap_or("<unknown>");
         // Render "font size" as bar length, like a terminal tag cloud.

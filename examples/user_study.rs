@@ -32,7 +32,11 @@ fn main() {
         let problem = catalog::problem(pid, params);
         let solver = recommend(&problem);
         let outcome = solver.solve(&ctx, &problem);
-        println!("Problem {pid} — {} (solved by {})", problem.describe(), solver.name());
+        println!(
+            "Problem {pid} — {} (solved by {})",
+            problem.describe(),
+            solver.name()
+        );
         if outcome.is_null() {
             println!("  no feasible analysis under these thresholds\n");
             continue;

@@ -1,0 +1,120 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Distribution`] trait plus the two
+//! distributions this workspace samples, [`StandardNormal`] and [`Zipf`].
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`, sampled with Box–Muller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; u1 is nudged away from zero so ln() stays finite.
+        let u1: f64 = rand::Standard::sample_standard(rng);
+        let u2: f64 = rand::Standard::sample_standard(rng);
+        let r = (-2.0 * (1.0 - u1).max(f64::MIN_POSITIVE).ln()).sqrt();
+        r * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Error constructing a [`Zipf`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// The number of elements must be at least 1.
+    NTooSmall,
+    /// The exponent must be finite and non-negative.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => f.write_str("Zipf requires n >= 1"),
+            ZipfError::STooSmall => f.write_str("Zipf requires a finite exponent >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over ranks `1..=n` with `P(k) ∝ 1 / k^s`, sampled by inverse
+/// CDF over a precomputed cumulative table (the call sites use small `n`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `1..=n` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n < 1 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rand::Standard::sample_standard(rng);
+        // First rank whose cumulative mass reaches u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let zipf = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut first = 0usize;
+        for _ in 0..10_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&rank));
+            if rank == 1.0 {
+                first += 1;
+            }
+        }
+        // Rank 1 should dominate under a Zipf law.
+        assert!(first > 1_000, "rank-1 mass {first} too small");
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

@@ -1,0 +1,516 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde shim.
+//!
+//! syn/quote are unavailable offline, so the input item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes — the ones this workspace uses:
+//!
+//! * named-field structs (externally an object),
+//! * tuple structs (newtype: transparent; longer: an array),
+//! * unit structs (null),
+//! * enums with unit (`"Variant"`), newtype (`{"Variant": ...}`), tuple
+//!   (`{"Variant": [...]}`) and struct (`{"Variant": {...}}`) variants,
+//! * `#[serde(skip)]` fields: omitted on serialize, `Default::default()` on
+//!   deserialize.
+//!
+//! Generic items are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: Option<String>,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility until the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("derive input ended before `struct`/`enum`".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let text = id.to_string();
+                if text == "struct" || text == "enum" {
+                    i += 1;
+                    break text;
+                }
+                i += 1; // `pub`, `crate`, ...
+            }
+            Some(TokenTree::Group(_)) => i += 1, // `pub(crate)` group
+            Some(_) => i += 1,
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    shape: Shape::Tuple(parse_tuple_fields(g.stream())),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                shape: Shape::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    }
+}
+
+/// Does an attribute group (the `[...]` contents) spell `serde(skip)`?
+fn is_skip_attr(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Parse `field: Type, ...` with optional attributes and visibility per field.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                skip |= is_skip_attr(g.stream());
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Name.
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name: Some(name),
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+/// Parse tuple-struct fields: split the paren contents on top-level commas.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut skip = false;
+    let mut any = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    skip |= is_skip_attr(g.stream());
+                }
+                i += 1; // the group is consumed on the next loop turn
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields.push(Field { name: None, skip });
+                skip = false;
+                any = false;
+            }
+            _ => any = true,
+        }
+        i += 1;
+    }
+    if any {
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Attributes (doc comments etc.).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Optional discriminant, then the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `fields.push(("name".to_string(), serde::Serialize::to_value(<expr>)));` lines for a
+/// named shape, given a printf-ish pattern for the field access expression.
+fn named_push_lines(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            let name = f.name.as_deref().unwrap();
+            format!(
+                "__fields.push(({name:?}.to_string(), ::serde::Serialize::to_value({})));\n",
+                access(name)
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Shape::Tuple(fields) => {
+                    let items: String = (0..fields.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{items}])")
+                }
+                Shape::Named(fields) => {
+                    let pushes = named_push_lines(fields, |f| format!("&self.{f}"));
+                    format!(
+                        "{{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes} ::serde::Value::Object(__fields) }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                        ),
+                        Shape::Tuple(fields) => {
+                            let binds: Vec<String> =
+                                (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                            let pat = binds.join(", ");
+                            let inner = if fields.len() == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: String = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({pat}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),\n"
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let pat: String = fields
+                                .iter()
+                                .map(|f| {
+                                    let fname = f.name.as_deref().unwrap();
+                                    if f.skip {
+                                        format!("{fname}: _,")
+                                    } else {
+                                        format!("{fname},")
+                                    }
+                                })
+                                .collect();
+                            let pushes = named_push_lines(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {pat} }} => {{\n\
+                                 let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(__fields))])\n\
+                                 }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Constructor expression for a named shape out of `__obj: &[(String, Value)]`.
+fn named_ctor(path: &str, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let fname = f.name.as_deref().unwrap();
+            if f.skip {
+                format!("{fname}: ::core::default::Default::default(),\n")
+            } else {
+                format!(
+                    "{fname}: match ::serde::get_field(__obj, {fname:?}) {{\n\
+                     Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                     None => return Err(::serde::Error::custom(concat!(\"missing field `\", {fname:?}, \"`\"))),\n\
+                     }},\n"
+                )
+            }
+        })
+        .collect();
+    format!("{path} {{ {inits} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+                }
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    let items: String = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "match __value.as_array() {{\n\
+                         Some(__items) if __items.len() == {n} => Ok({name}({items})),\n\
+                         _ => Err(::serde::Error::custom(\"expected {n}-element array for tuple struct {name}\")),\n\
+                         }}"
+                    )
+                }
+                Shape::Named(fields) => {
+                    let ctor = named_ctor(name, fields);
+                    format!(
+                        "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for struct {name}\"))?;\n\
+                         Ok({ctor})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => Ok({name}::{vname}),\n")
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(fields) if fields.len() == 1 => Some(format!(
+                            "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        Shape::Tuple(fields) => {
+                            let n = fields.len();
+                            let items: String = (0..n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => match __inner.as_array() {{\n\
+                                 Some(__items) if __items.len() == {n} => Ok({name}::{vname}({items})),\n\
+                                 _ => Err(::serde::Error::custom(\"expected {n}-element array for variant {vname}\")),\n\
+                                 }},\n"
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let ctor = named_ctor(&format!("{name}::{vname}"), fields);
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for variant {vname}\"))?;\n\
+                                 Ok({ctor})\n}},\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::Error::custom(format!(\"expected enum {name}, found {{}}\", __other.kind()))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`geometry`] (`tagdm-geometry`) — distance matrices and facility-dispersion
 //!   heuristics;
 //! * [`core`] (`tagdm-core`) — the dual mining framework itself: problems, constraints,
-//!   objectives and the Exact / SM-LSH / DV-FDP solvers.
+//!   objectives and the Exact / SM-LSH / DV-FDP solvers;
+//! * [`engine`] (`tagdm-engine`) — a concurrent mining service: context/outcome caching,
+//!   a deadline-aware solver worker pool and built-in metrics.
 //!
 //! See the [`prelude`] for the handful of types most programs need, the `examples/`
 //! directory for runnable end-to-end scenarios, and the `tagdm-bench` crate for the
@@ -43,6 +45,7 @@
 
 pub use tagdm_core as core;
 pub use tagdm_data as data;
+pub use tagdm_engine as engine;
 pub use tagdm_geometry as geometry;
 pub use tagdm_lsh as lsh;
 pub use tagdm_topics as topics;
@@ -56,13 +59,16 @@ pub mod prelude {
     pub use tagdm_core::functions::DualMiningFunction;
     pub use tagdm_core::problem::{ConstraintSpec, ObjectiveSpec, TagDmProblem};
     pub use tagdm_core::solvers::{
-        ConstraintMode, DvFdpSolver, ExactSolver, SmLshSolver, Solver, SolverOutcome,
+        CancelToken, ConstraintMode, DvFdpSolver, ExactSolver, SmLshSolver, Solver, SolverOutcome,
     };
     pub use tagdm_data::dataset::{Dataset, DatasetBuilder};
     pub use tagdm_data::generator::{GeneratorConfig, MovieLensStyleGenerator};
     pub use tagdm_data::group::{GroupingScheme, TaggingActionGroup};
     pub use tagdm_data::predicate::ConjunctivePredicate;
     pub use tagdm_data::query::DatasetQuery;
+    pub use tagdm_engine::{
+        ContextSpec, Engine, EngineConfig, SolveRequest, SolveResponse, SolverChoice,
+    };
     pub use tagdm_topics::lda::LdaConfig;
     pub use tagdm_topics::signature::TagSignature;
 }

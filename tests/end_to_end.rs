@@ -14,7 +14,10 @@ fn pipeline_context() -> (Dataset, MiningContext, ProblemParams) {
     .unwrap()
     .min_group_size(5)
     .enumerate(&dataset);
-    assert!(groups.len() >= 10, "small corpus should yield a healthy group count");
+    assert!(
+        groups.len() >= 10,
+        "small corpus should yield a healthy group count"
+    );
     let ctx = MiningContext::build(&dataset, groups, SummarizerChoice::fast_lda(10));
     let params = ProblemParams {
         k: 3,
@@ -77,7 +80,10 @@ fn lsh_and_fdp_families_cover_their_respective_problems() {
         for mode in [ConstraintMode::Filter, ConstraintMode::Fold] {
             let outcome = SmLshSolver::new(mode).solve(&ctx, &problem);
             if !outcome.is_null() {
-                assert!(problem.feasible(&ctx, &outcome.groups), "problem {pid} {mode:?}");
+                assert!(
+                    problem.feasible(&ctx, &outcome.groups),
+                    "problem {pid} {mode:?}"
+                );
             }
         }
     }
@@ -96,7 +102,9 @@ fn pipeline_is_deterministic_from_seed_to_solution() {
     let run = || {
         let (_d, ctx, params) = pipeline_context();
         let problem = catalog::problem_6(params);
-        DvFdpSolver::new(ConstraintMode::Fold).solve(&ctx, &problem).groups
+        DvFdpSolver::new(ConstraintMode::Fold)
+            .solve(&ctx, &problem)
+            .groups
     };
     assert_eq!(run(), run());
 }
@@ -113,7 +121,10 @@ fn support_and_constraints_are_honoured_by_returned_sets() {
         assert!(problem.constraints_satisfied(&ctx, &outcome.groups));
         for &g in &outcome.groups {
             assert!(g < ctx.num_groups());
-            assert!(!ctx.group(g).description.is_empty(), "groups must stay describable");
+            assert!(
+                !ctx.group(g).description.is_empty(),
+                "groups must stay describable"
+            );
         }
     }
 }

@@ -25,8 +25,12 @@ fn dataset_roundtrips_through_json() {
     );
     // Mining over the restored dataset yields identical groups.
     let scheme = [("user", "gender"), ("item", "genre")];
-    let original_groups = GroupingScheme::over(&dataset, &scheme).unwrap().enumerate(&dataset);
-    let restored_groups = GroupingScheme::over(&restored, &scheme).unwrap().enumerate(&restored);
+    let original_groups = GroupingScheme::over(&dataset, &scheme)
+        .unwrap()
+        .enumerate(&dataset);
+    let restored_groups = GroupingScheme::over(&restored, &scheme)
+        .unwrap()
+        .enumerate(&restored);
     assert_eq!(original_groups, restored_groups);
 }
 

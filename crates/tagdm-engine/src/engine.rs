@@ -10,14 +10,17 @@ use tagdm_core::problem::TagDmProblem;
 use tagdm_data::dataset::Dataset;
 use tagdm_geometry::distance::DistanceMatrix;
 
+use crate::admission::AdmissionPolicy;
 use crate::error::EngineError;
 use crate::executor::{Job, JobExecutor};
-use crate::job::{shutdown_response, JobId, JobTicket, SolveRequest, SolveResponse};
+use crate::job::{JobId, JobTicket, SolveRequest, SolveResponse};
 use crate::metrics::MetricsSnapshot;
+use crate::retry::RetryPolicy;
 use crate::spec::ContextSpec;
 use crate::state::EngineState;
+use crate::supervisor::SupervisorConfig;
 
-/// Sizing knobs for an [`Engine`].
+/// Sizing and fault-tolerance knobs for an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads in the solve pool.
@@ -28,6 +31,12 @@ pub struct EngineConfig {
     pub outcome_cache: usize,
     /// Capacity of the pairwise objective-matrix LRU cache.
     pub matrix_cache: usize,
+    /// Capacity of the job admission queue (at least 1).
+    pub queue_capacity: usize,
+    /// What happens to submissions when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Restart budget and backoff for respawning dead workers.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +46,9 @@ impl Default for EngineConfig {
             context_cache: 16,
             outcome_cache: 256,
             matrix_cache: 32,
+            queue_capacity: 1024,
+            admission: AdmissionPolicy::Reject,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -45,6 +57,24 @@ impl EngineConfig {
     /// Override the worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the admission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Override the full-queue admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Override the worker-supervision policy.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
         self
     }
 }
@@ -76,7 +106,13 @@ impl Engine {
             config.outcome_cache,
             config.matrix_cache,
         ));
-        let executor = JobExecutor::start(config.workers, Arc::clone(&state));
+        let executor = JobExecutor::start(
+            config.workers,
+            config.queue_capacity,
+            config.admission,
+            config.supervisor,
+            Arc::clone(&state),
+        );
         Engine {
             state,
             executor,
@@ -89,9 +125,16 @@ impl Engine {
         Engine::default()
     }
 
-    /// Number of worker threads in the solve pool.
+    /// Number of worker threads in the solve pool (the supervisor's invariant).
     pub fn num_workers(&self) -> usize {
         self.executor.num_workers()
+    }
+
+    /// Worker threads alive right now. Dips below [`num_workers`](Self::num_workers)
+    /// between a worker death and its supervised respawn; stays lower permanently once
+    /// the supervisor's restart budget is exhausted.
+    pub fn live_workers(&self) -> usize {
+        self.executor.live_workers()
     }
 
     /// Register (or replace) a dataset under `name`. Existing cached contexts built
@@ -137,6 +180,11 @@ impl Engine {
     }
 
     /// Enqueue a request on the worker pool; the ticket resolves to the response.
+    ///
+    /// Admission is bounded: when the queue is full the configured
+    /// [`AdmissionPolicy`] decides whether this rejects fast, blocks briefly or sheds
+    /// older queued work. Whatever happens, the returned ticket always resolves —
+    /// rejected jobs resolve to [`EngineError::Overloaded`] immediately.
     pub fn submit(&self, request: SolveRequest) -> JobTicket {
         let id = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
         self.state.metrics.job_submitted();
@@ -147,12 +195,11 @@ impl Engine {
             submitted: Instant::now(),
             reply,
         };
-        if self.executor.submit(job).is_err() {
-            // Executor shut down: synthesize the response on the ticket's channel...
-            // which is gone with the job. Recreate a pre-resolved ticket instead.
-            let (reply, receiver) = channel();
-            let _ = reply.send(shutdown_response(id));
-            return JobTicket { id, receiver };
+        if let Err(refused) = self.executor.submit(job) {
+            let (job, error) = *refused;
+            // Refused at admission (overload or shutdown): the job still owns its
+            // reply channel, so answer the ticket right here.
+            job.answer_error(error, &self.state.metrics);
         }
         JobTicket { id, receiver }
     }
@@ -160,6 +207,26 @@ impl Engine {
     /// Submit and block for the response.
     pub fn solve(&self, request: SolveRequest) -> SolveResponse {
         self.submit(request).wait()
+    }
+
+    /// Submit and block for the response, transparently resubmitting on transient
+    /// failures (caught worker panics, overload rejections, queue-expired deadlines)
+    /// per `policy`. Deterministic errors — invalid problems, unknown names, shutdown
+    /// — are returned on the first attempt; see [`EngineError::is_transient`]. The
+    /// response of the last attempt is returned once the policy's budget is spent.
+    pub fn solve_with(&self, request: SolveRequest, policy: RetryPolicy) -> SolveResponse {
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            let response = self.solve(request.clone());
+            let retryable = matches!(&response.result, Err(error) if error.is_transient());
+            if !retryable || attempt + 1 >= attempts {
+                return response;
+            }
+            self.state.metrics.job_retried();
+            std::thread::sleep(policy.backoff.delay(attempt));
+            attempt += 1;
+        }
     }
 
     /// Submit a batch and collect the responses in request order. The batch runs

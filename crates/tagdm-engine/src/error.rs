@@ -18,13 +18,42 @@ pub enum EngineError {
     InvalidGrouping(String),
     /// The problem failed [`TagDmProblem::validate`](tagdm_core::problem::TagDmProblem::validate).
     InvalidProblem(String),
-    /// The job's deadline passed while it was still queued; no solver ran.
+    /// The job's deadline passed while it was still queued; no solver ran. Also the
+    /// answer a queued job receives when the shed-oldest admission policy sweeps it
+    /// out because its deadline had already expired.
     DeadlineExpiredInQueue {
         /// How long the job had been queued when a worker finally saw it.
         waited: Duration,
     },
+    /// A worker panicked while running the job. The panic was caught at the job
+    /// boundary: the worker survives and the caller gets this instead of a hang.
+    WorkerPanicked {
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// The engine's admission queue was full and the admission policy refused (or
+    /// shed) the job. Back off and retry, or accept the shed.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
     /// The engine was shut down before the job could be answered.
     Shutdown,
+}
+
+impl EngineError {
+    /// Whether retrying the same request may succeed. Panics, overload and queue
+    /// expiry are load- or luck-dependent and worth retrying (a resubmission restarts
+    /// the deadline clock); invalid problems, unknown names and shutdown are
+    /// deterministic and never retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            EngineError::WorkerPanicked { .. }
+                | EngineError::Overloaded { .. }
+                | EngineError::DeadlineExpiredInQueue { .. }
+        )
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -36,6 +65,15 @@ impl fmt::Display for EngineError {
             EngineError::InvalidProblem(message) => write!(f, "invalid problem: {message}"),
             EngineError::DeadlineExpiredInQueue { waited } => {
                 write!(f, "deadline expired after {waited:?} in queue")
+            }
+            EngineError::WorkerPanicked { payload } => {
+                write!(f, "worker panicked while running the job: {payload}")
+            }
+            EngineError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "engine overloaded: admission queue at capacity {capacity}"
+                )
             }
             EngineError::Shutdown => write!(f, "engine shut down"),
         }
@@ -60,5 +98,52 @@ mod tests {
         .to_string()
         .contains("deadline expired"));
         assert_eq!(EngineError::Shutdown.to_string(), "engine shut down");
+        assert_eq!(
+            EngineError::WorkerPanicked {
+                payload: "solver index out of bounds".into()
+            }
+            .to_string(),
+            "worker panicked while running the job: solver index out of bounds"
+        );
+        assert_eq!(
+            EngineError::Overloaded { capacity: 4 }.to_string(),
+            "engine overloaded: admission queue at capacity 4"
+        );
+    }
+
+    #[test]
+    fn transience_classifies_retryable_errors() {
+        assert!(EngineError::WorkerPanicked {
+            payload: "p".into()
+        }
+        .is_transient());
+        assert!(EngineError::Overloaded { capacity: 1 }.is_transient());
+        assert!(EngineError::DeadlineExpiredInQueue {
+            waited: Duration::from_millis(1)
+        }
+        .is_transient());
+        assert!(!EngineError::InvalidProblem("k = 0".into()).is_transient());
+        assert!(!EngineError::UnknownDataset("ml".into()).is_transient());
+        assert!(!EngineError::UnknownContext("ctx".into()).is_transient());
+        assert!(!EngineError::InvalidGrouping("no such attribute".into()).is_transient());
+        assert!(!EngineError::Shutdown.is_transient());
+    }
+
+    #[test]
+    fn new_error_variants_round_trip_through_serde() {
+        for error in [
+            EngineError::WorkerPanicked {
+                payload: "boom".into(),
+            },
+            EngineError::Overloaded { capacity: 16 },
+            EngineError::DeadlineExpiredInQueue {
+                waited: Duration::from_millis(7),
+            },
+            EngineError::Shutdown,
+        ] {
+            let json = serde_json::to_string(&error).expect("errors serialize");
+            let back: EngineError = serde_json::from_str(&json).expect("errors deserialize");
+            assert_eq!(back, error);
+        }
     }
 }

@@ -216,6 +216,30 @@ mod tests {
     }
 
     #[test]
+    fn fault_responses_round_trip_through_serde() {
+        // A response carrying the new fault-surface errors stays wire-transportable
+        // (the roadmap's network-service direction depends on it).
+        for error in [
+            EngineError::WorkerPanicked {
+                payload: "solver overflowed".into(),
+            },
+            EngineError::Overloaded { capacity: 8 },
+        ] {
+            let response = SolveResponse {
+                job: JobId(42),
+                result: Err(error),
+                cache: CacheReport::default(),
+                deadline_hit: false,
+                queue_wait: Duration::from_micros(120),
+                total: Duration::from_millis(3),
+            };
+            let json = serde_json::to_string(&response).expect("responses serialize");
+            let back: SolveResponse = serde_json::from_str(&json).expect("responses deserialize");
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
     fn request_builder_sets_the_deadline() {
         let params = ProblemParams::default();
         let request = SolveRequest::new(

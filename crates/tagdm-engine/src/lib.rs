@@ -21,6 +21,21 @@
 //!   hits/misses, queue wait and solve time, exposed as a serializable
 //!   [`MetricsSnapshot`] via [`Engine::metrics`].
 //!
+//! The engine is built to degrade predictably under faults and load:
+//!
+//! * **Panic isolation** — a panicking solver is caught at the job boundary and
+//!   answered as [`EngineError::WorkerPanicked`]; the worker survives and the caller
+//!   never hangs.
+//! * **Worker supervision** — a supervisor thread respawns workers killed by escaped
+//!   panics, with exponential backoff and a restart budget ([`SupervisorConfig`]).
+//! * **Bounded admission** — the job queue is capacity-bounded; a full queue rejects,
+//!   blocks-with-timeout or sheds oldest work per [`AdmissionPolicy`], so overload
+//!   fails fast instead of collapsing latency.
+//! * **Retry with backoff** — [`Engine::solve_with`] transparently resubmits requests
+//!   that failed transiently, per [`RetryPolicy`].
+//! * **Fault injection** — with the `failpoints` cargo feature, tests arm named
+//!   [`failpoint`] sites to force panics, delays and errors deterministically.
+//!
 //! ```
 //! use tagdm_core::catalog::{problem_1, ProblemParams};
 //! use tagdm_core::context::SummarizerChoice;
@@ -45,19 +60,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 mod engine;
 mod error;
 mod executor;
+pub mod failpoint;
 pub mod histogram;
 mod job;
 pub mod metrics;
+mod retry;
 mod spec;
 mod state;
+mod supervisor;
 
+pub use admission::AdmissionPolicy;
 pub use engine::{Engine, EngineConfig};
 pub use error::EngineError;
 pub use histogram::HistogramSnapshot;
 pub use job::{CacheReport, JobId, JobTicket, SolveRequest, SolveResponse, SolverChoice};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use retry::{Backoff, RetryPolicy};
 pub use spec::{ContextKey, ContextSpec};
+pub use supervisor::SupervisorConfig;

@@ -22,6 +22,20 @@ pub struct EngineMetrics {
     pub jobs_completed: AtomicU64,
     /// Jobs whose deadline fired — while queued or mid-solve.
     pub jobs_expired: AtomicU64,
+    /// Jobs whose solver panicked; the panic was caught and answered as
+    /// [`EngineError::WorkerPanicked`](crate::EngineError::WorkerPanicked).
+    pub jobs_panicked: AtomicU64,
+    /// Jobs refused at admission because the queue was full (reject or block-timeout).
+    pub jobs_rejected: AtomicU64,
+    /// Queued jobs shed by the shed-oldest admission policy (expired sweeps and
+    /// oldest-evictions).
+    pub jobs_shed: AtomicU64,
+    /// Transparent resubmissions performed by [`Engine::solve_with`](crate::Engine::solve_with).
+    pub jobs_retried: AtomicU64,
+    /// Dead workers respawned by the supervisor.
+    pub worker_restarts: AtomicU64,
+    /// Context-cache misses that joined an in-flight build instead of duplicating it.
+    pub context_builds_deduped: AtomicU64,
     /// Context-cache hits (including installed contexts).
     pub context_hits: AtomicU64,
     /// Context-cache misses (each one paid a full context build).
@@ -59,6 +73,30 @@ impl EngineMetrics {
 
     pub(crate) fn job_expired(&self) {
         Self::add(&self.jobs_expired);
+    }
+
+    pub(crate) fn job_panicked(&self) {
+        Self::add(&self.jobs_panicked);
+    }
+
+    pub(crate) fn job_rejected(&self) {
+        Self::add(&self.jobs_rejected);
+    }
+
+    pub(crate) fn job_shed(&self) {
+        Self::add(&self.jobs_shed);
+    }
+
+    pub(crate) fn job_retried(&self) {
+        Self::add(&self.jobs_retried);
+    }
+
+    pub(crate) fn worker_restarted(&self) {
+        Self::add(&self.worker_restarts);
+    }
+
+    pub(crate) fn context_build_deduped(&self) {
+        Self::add(&self.context_builds_deduped);
     }
 
     pub(crate) fn context_lookup(&self, hit: bool) {
@@ -108,6 +146,12 @@ impl EngineMetrics {
             jobs_submitted: load(&self.jobs_submitted),
             jobs_completed: load(&self.jobs_completed),
             jobs_expired: load(&self.jobs_expired),
+            jobs_panicked: load(&self.jobs_panicked),
+            jobs_rejected: load(&self.jobs_rejected),
+            jobs_shed: load(&self.jobs_shed),
+            jobs_retried: load(&self.jobs_retried),
+            worker_restarts: load(&self.worker_restarts),
+            context_builds_deduped: load(&self.context_builds_deduped),
             context_hits: load(&self.context_hits),
             context_misses: load(&self.context_misses),
             outcome_hits: load(&self.outcome_hits),
@@ -131,6 +175,18 @@ pub struct MetricsSnapshot {
     pub jobs_completed: u64,
     /// Jobs whose deadline fired.
     pub jobs_expired: u64,
+    /// Jobs whose caught solver panic was answered as `WorkerPanicked`.
+    pub jobs_panicked: u64,
+    /// Jobs refused at admission (full queue under reject / block-timeout policies).
+    pub jobs_rejected: u64,
+    /// Queued jobs shed by the shed-oldest admission policy.
+    pub jobs_shed: u64,
+    /// Transparent retries performed by `Engine::solve_with`.
+    pub jobs_retried: u64,
+    /// Dead workers respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Context builds avoided by joining one already in flight.
+    pub context_builds_deduped: u64,
     /// Context-cache hits.
     pub context_hits: u64,
     /// Context-cache misses.
@@ -173,9 +229,18 @@ impl MetricsSnapshot {
             self.jobs_submitted, self.jobs_completed, self.jobs_expired
         ));
         out.push_str(&format!(
-            "  contexts  hits={} misses={} (hit ratio {:.0}%)\n",
+            "  faults    panics={} rejected={} shed={} retries={} restarts={}\n",
+            self.jobs_panicked,
+            self.jobs_rejected,
+            self.jobs_shed,
+            self.jobs_retried,
+            self.worker_restarts
+        ));
+        out.push_str(&format!(
+            "  contexts  hits={} misses={} deduped={} (hit ratio {:.0}%)\n",
             self.context_hits,
             self.context_misses,
+            self.context_builds_deduped,
             100.0 * self.context_hit_ratio()
         ));
         out.push_str(&format!(
@@ -218,6 +283,13 @@ mod tests {
         metrics.job_submitted();
         metrics.job_submitted();
         metrics.job_completed();
+        metrics.job_panicked();
+        metrics.job_rejected();
+        metrics.job_shed();
+        metrics.job_retried();
+        metrics.job_retried();
+        metrics.worker_restarted();
+        metrics.context_build_deduped();
         metrics.context_lookup(true);
         metrics.context_lookup(false);
         metrics.outcome_lookup(true);
@@ -228,6 +300,12 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.jobs_submitted, 2);
         assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.jobs_panicked, 1);
+        assert_eq!(snap.jobs_rejected, 1);
+        assert_eq!(snap.jobs_shed, 1);
+        assert_eq!(snap.jobs_retried, 2);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.context_builds_deduped, 1);
         assert_eq!(snap.context_hits, 1);
         assert_eq!(snap.context_misses, 1);
         assert_eq!(snap.outcome_hits, 1);
@@ -240,6 +318,9 @@ mod tests {
         let report = snap.render();
         assert!(report.contains("hits=1"));
         assert!(report.contains("solve (hit)"));
+        assert!(report.contains("panics=1"));
+        assert!(report.contains("restarts=1"));
+        assert!(report.contains("deduped=1"));
     }
 
     #[test]

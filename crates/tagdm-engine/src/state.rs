@@ -3,13 +3,14 @@
 //! One `EngineState` is shared (via `Arc`) between the public [`Engine`](crate::Engine)
 //! handle and every worker thread. Locks are held only for lookups and insertions —
 //! never across a context build or a solve — so workers serialize on the caches for
-//! microseconds at a time. Two workers racing on the same missing context may both
-//! build it; builds are deterministic, so the duplicated work is a latency cost, not a
-//! correctness one (and the second insert simply overwrites the first with an equal
-//! value).
+//! microseconds at a time. Workers racing on the same missing context are deduplicated
+//! through an in-flight build registry: the first miss claims the build, concurrent
+//! misses block on its result (counted as `context_builds_deduped` in the metrics), and
+//! a failed or panicked build wakes every waiter with the error instead of leaving them
+//! hanging.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
 use tagdm_core::context::MiningContext;
@@ -21,6 +22,7 @@ use tagdm_geometry::distance::DistanceMatrix;
 
 use crate::cache::LruCache;
 use crate::error::EngineError;
+use crate::failpoint;
 use crate::job::SolverChoice;
 use crate::metrics::EngineMetrics;
 use crate::spec::{ContextKey, ContextSpec};
@@ -29,11 +31,47 @@ use crate::spec::{ContextKey, ContextSpec};
 /// the problem and the solver choice.
 pub(crate) type OutcomeKey = (ContextKey, String);
 
+type BuildResult = Result<Arc<MiningContext>, EngineError>;
+
+/// One in-flight context build: the builder fills `result` and notifies; waiters block
+/// on the condvar until it is filled.
+struct InFlightBuild {
+    result: Mutex<Option<BuildResult>>,
+    done: Condvar,
+}
+
+impl InFlightBuild {
+    fn new() -> Self {
+        InFlightBuild {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> BuildResult {
+        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match slot.as_ref() {
+                Some(result) => return result.clone(),
+                None => slot = self.done.wait(slot).unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
+
+    fn fill(&self, result: BuildResult) {
+        *self.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        self.done.notify_all();
+    }
+}
+
 pub(crate) struct EngineState {
     datasets: RwLock<HashMap<String, Arc<Dataset>>>,
     /// Pre-built contexts pinned under explicit names (never LRU-evicted).
     installed: RwLock<HashMap<String, Arc<MiningContext>>>,
     contexts: Mutex<LruCache<ContextKey, Arc<MiningContext>>>,
+    /// Context builds currently running, for racing misses to wait on instead of
+    /// duplicating the work.
+    building: Mutex<HashMap<ContextKey, Arc<InFlightBuild>>>,
     outcomes: Mutex<LruCache<OutcomeKey, SolverOutcome>>,
     matrices: Mutex<LruCache<OutcomeKey, Arc<DistanceMatrix>>>,
     pub(crate) metrics: EngineMetrics,
@@ -49,6 +87,7 @@ impl EngineState {
             datasets: RwLock::new(HashMap::new()),
             installed: RwLock::new(HashMap::new()),
             contexts: Mutex::new(LruCache::new(context_capacity)),
+            building: Mutex::new(HashMap::new()),
             outcomes: Mutex::new(LruCache::new(outcome_capacity)),
             matrices: Mutex::new(LruCache::new(matrix_capacity)),
             metrics: EngineMetrics::default(),
@@ -115,12 +154,7 @@ impl EngineState {
                 self.metrics.context_lookup(true);
                 Ok((context, true))
             }
-            ContextSpec::Grouped {
-                dataset,
-                grouping,
-                min_group_size,
-                summarizer,
-            } => {
+            ContextSpec::Grouped { .. } => {
                 let key = spec.key();
                 if let Some(context) = self
                     .contexts
@@ -131,29 +165,81 @@ impl EngineState {
                     self.metrics.context_lookup(true);
                     return Ok((context, true));
                 }
-                // Miss: build outside any lock.
-                let dataset = self
-                    .dataset(dataset)
-                    .ok_or_else(|| EngineError::UnknownDataset(dataset.clone()))?;
-                let started = Instant::now();
-                let attrs: Vec<(&str, &str)> = grouping
-                    .iter()
-                    .map(|(dim, attr)| (dim.as_str(), attr.as_str()))
-                    .collect();
-                let groups = GroupingScheme::over(&dataset, &attrs)
-                    .map_err(|e| EngineError::InvalidGrouping(e.to_string()))?
-                    .min_group_size(*min_group_size)
-                    .enumerate(&dataset);
-                let context = Arc::new(MiningContext::build(&dataset, groups, *summarizer));
-                self.metrics.record_context_build(started.elapsed());
-                self.metrics.context_lookup(false);
-                self.contexts
-                    .lock()
-                    .expect("context cache lock poisoned")
-                    .insert(key, Arc::clone(&context));
-                Ok((context, false))
+                // Miss: claim the build, or join one already in flight.
+                let (slot, is_builder) = {
+                    let mut building = self.building.lock().unwrap_or_else(PoisonError::into_inner);
+                    match building.get(&key) {
+                        Some(slot) => (Arc::clone(slot), false),
+                        None => {
+                            let slot = Arc::new(InFlightBuild::new());
+                            building.insert(key.clone(), Arc::clone(&slot));
+                            (slot, true)
+                        }
+                    }
+                };
+                if !is_builder {
+                    self.metrics.context_build_deduped();
+                    self.metrics.context_lookup(false);
+                    return slot.wait().map(|context| (context, false));
+                }
+                // Publish on every exit — including an unwind (e.g. a panicking
+                // summarizer): the guard's Drop wakes waiters with an error rather
+                // than leaving them blocked forever.
+                let guard = BuildClaim {
+                    state: self,
+                    key: Some(key.clone()),
+                    slot: &slot,
+                };
+                let built = self.build_context(spec);
+                guard.publish(built.clone());
+                if let Ok(context) = &built {
+                    self.metrics.context_lookup(false);
+                    self.contexts
+                        .lock()
+                        .expect("context cache lock poisoned")
+                        .insert(key, Arc::clone(context));
+                }
+                built.map(|context| (context, false))
             }
         }
+    }
+
+    /// Run one grouped-context build (the caller holds the in-flight claim).
+    fn build_context(&self, spec: &ContextSpec) -> BuildResult {
+        let ContextSpec::Grouped {
+            dataset,
+            grouping,
+            min_group_size,
+            summarizer,
+        } = spec
+        else {
+            unreachable!("only grouped specs are built");
+        };
+        failpoint::check(failpoint::site::CONTEXT_BUILD)?;
+        let dataset = self
+            .dataset(dataset)
+            .ok_or_else(|| EngineError::UnknownDataset(dataset.clone()))?;
+        let started = Instant::now();
+        let attrs: Vec<(&str, &str)> = grouping
+            .iter()
+            .map(|(dim, attr)| (dim.as_str(), attr.as_str()))
+            .collect();
+        let groups = GroupingScheme::over(&dataset, &attrs)
+            .map_err(|e| EngineError::InvalidGrouping(e.to_string()))?
+            .min_group_size(*min_group_size)
+            .enumerate(&dataset);
+        let context = Arc::new(MiningContext::build(&dataset, groups, *summarizer));
+        self.metrics.record_context_build(started.elapsed());
+        Ok(context)
+    }
+
+    /// Deregister an in-flight build claim, filling its slot so waiters wake.
+    fn release_build_claim(&self, key: &ContextKey, slot: &InFlightBuild, result: BuildResult) {
+        slot.fill(result);
+        self.building
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(key);
     }
 
     /// The outcome-cache key for a request triple.
@@ -217,5 +303,37 @@ impl EngineState {
             .expect("matrix cache lock poisoned")
             .insert(key, Arc::clone(&matrix));
         Ok(matrix)
+    }
+}
+
+/// The builder's claim on an in-flight context build. Normal exits publish the build
+/// result explicitly; if the build unwinds instead (a panicking summarizer, an
+/// injected `state.context_build` panic), `Drop` publishes a `WorkerPanicked` error so
+/// deduplicated waiters wake with a failure instead of blocking forever.
+struct BuildClaim<'a> {
+    state: &'a EngineState,
+    key: Option<ContextKey>,
+    slot: &'a InFlightBuild,
+}
+
+impl BuildClaim<'_> {
+    fn publish(mut self, result: BuildResult) {
+        if let Some(key) = self.key.take() {
+            self.state.release_build_claim(&key, self.slot, result);
+        }
+    }
+}
+
+impl Drop for BuildClaim<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.state.release_build_claim(
+                &key,
+                self.slot,
+                Err(EngineError::WorkerPanicked {
+                    payload: "context build panicked".to_string(),
+                }),
+            );
+        }
     }
 }

@@ -1,0 +1,146 @@
+//! The engine's fault-tolerance surface, end to end: a deliberately tiny pool with a
+//! bounded admission queue is flooded past capacity, sheds load predictably, and a
+//! retrying submitter rides out the overload with backoff instead of failing.
+//!
+//! (Panic isolation and worker supervision are exercised by the fault-injection test
+//! suite — `cargo test -p tagdm-engine --features failpoints` — since they need
+//! injected failures to demonstrate.)
+//!
+//! Run with `cargo run --example fault_tolerance --release`.
+
+use std::time::Duration;
+
+use tagdm::prelude::*;
+
+fn main() {
+    // --- 1. A deliberately under-provisioned engine -----------------------------------
+    // Two workers, room for two queued jobs, and a shed-oldest policy: when the queue
+    // is full, expired work is swept and the oldest queued job is evicted to make room.
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(2)
+            .with_admission(AdmissionPolicy::ShedOldest)
+            .with_supervisor(SupervisorConfig::default()),
+    );
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+    engine.register_dataset("ml-small", dataset);
+    println!(
+        "engine up: {} workers live, queue capacity 2, policy shed-oldest",
+        engine.live_workers()
+    );
+
+    let params = ProblemParams {
+        k: 3,
+        min_support: 5,
+        user_threshold: 0.2,
+        item_threshold: 0.2,
+    };
+
+    // --- 2. Flood it ------------------------------------------------------------------
+    // Twelve submissions, each with a distinct context recipe (different minimum group
+    // size), so every job pays a fresh context build and the queue genuinely backs up.
+    println!("\nflooding 12 distinct-context solves into 2 workers + 2 queue slots:");
+    let tickets: Vec<_> = (0..12)
+        .map(|i| {
+            let spec = ContextSpec::grouped(
+                "ml-small",
+                &[("user", "gender"), ("item", "genre")],
+                5 + i, // distinct min_group_size => distinct context => cache miss
+                SummarizerChoice::FrequencyNormalized,
+            );
+            let request =
+                SolveRequest::new(spec, catalog::problem_1(params), SolverChoice::Recommended)
+                    .with_deadline(Duration::from_secs(5));
+            engine.submit(request)
+        })
+        .collect();
+
+    let (mut solved, mut shed) = (0usize, 0usize);
+    for ticket in tickets {
+        let response = ticket.wait();
+        match response.result {
+            Ok(outcome) => {
+                solved += 1;
+                println!(
+                    "  job {:>2}: solved   ({} groups, {:?} total)",
+                    response.job.0,
+                    outcome.groups.len(),
+                    response.total
+                );
+            }
+            Err(error) => {
+                shed += 1;
+                println!("  job {:>2}: degraded ({error})", response.job.0);
+            }
+        }
+    }
+    println!("flood outcome: {solved} solved, {shed} shed — every caller answered, none hung");
+
+    // --- 3. Retry rides out the overload ----------------------------------------------
+    // The same flood, but the probe submitter uses a retry policy: transient
+    // overload/shed errors are retried with exponential backoff until a slot frees.
+    println!("\nsame flood, but one submitter retries with backoff:");
+    let background: Vec<_> = (0..8)
+        .map(|i| {
+            let spec = ContextSpec::grouped(
+                "ml-small",
+                &[("user", "age"), ("item", "genre")],
+                5 + i,
+                SummarizerChoice::FrequencyNormalized,
+            );
+            engine.submit(SolveRequest::new(
+                spec,
+                catalog::problem_1(params),
+                SolverChoice::Recommended,
+            ))
+        })
+        .collect();
+
+    let probe_spec = ContextSpec::grouped(
+        "ml-small",
+        &[("user", "gender"), ("item", "genre")],
+        40,
+        SummarizerChoice::FrequencyNormalized,
+    );
+    let policy = RetryPolicy::attempts(6).with_backoff(Backoff::new(
+        Duration::from_millis(20),
+        Duration::from_millis(500),
+    ));
+    let response = engine.solve_with(
+        SolveRequest::new(
+            probe_spec,
+            catalog::problem_1(params),
+            SolverChoice::Recommended,
+        ),
+        policy,
+    );
+    match response.result {
+        Ok(outcome) => println!(
+            "  probe solved through the storm: {} groups, objective {:.4}",
+            outcome.groups.len(),
+            outcome.objective
+        ),
+        Err(error) => println!("  probe exhausted its retries: {error}"),
+    }
+    for ticket in background {
+        let _ = ticket.wait();
+    }
+
+    // --- 4. The fault ledger -----------------------------------------------------------
+    let metrics = engine.metrics();
+    println!("\n{}", metrics.render());
+    assert_eq!(
+        metrics.jobs_submitted, metrics.jobs_completed,
+        "every admitted job is answered exactly once"
+    );
+    println!(
+        "ledger: submitted={} completed={} shed={} retried={} — pool still at {}/{} workers",
+        metrics.jobs_submitted,
+        metrics.jobs_completed,
+        metrics.jobs_shed,
+        metrics.jobs_retried,
+        engine.live_workers(),
+        engine.num_workers()
+    );
+}

@@ -67,7 +67,8 @@ pub mod prelude {
     pub use tagdm_data::predicate::ConjunctivePredicate;
     pub use tagdm_data::query::DatasetQuery;
     pub use tagdm_engine::{
-        ContextSpec, Engine, EngineConfig, SolveRequest, SolveResponse, SolverChoice,
+        AdmissionPolicy, Backoff, ContextSpec, Engine, EngineConfig, EngineError, RetryPolicy,
+        SolveRequest, SolveResponse, SolverChoice, SupervisorConfig,
     };
     pub use tagdm_topics::lda::LdaConfig;
     pub use tagdm_topics::signature::TagSignature;

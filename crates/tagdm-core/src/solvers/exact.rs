@@ -50,7 +50,9 @@ impl ExactSolver {
         let mut exhausted = false;
 
         let mut current: Vec<usize> = Vec::with_capacity(problem.max_groups);
-        // Depth-first enumeration of subsets of size min_groups..=max_groups.
+        // Depth-first enumeration of subsets of size min_groups..=max_groups. The
+        // recursion threads every loop variable explicitly instead of a context
+        // struct so the hot path stays allocation-free; hence the argument count.
         #[allow(clippy::too_many_arguments)]
         fn recurse(
             ctx: &MiningContext,

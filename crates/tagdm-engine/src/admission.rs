@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::EngineError;
 use crate::executor::Job;
 use crate::metrics::EngineMetrics;
+use crate::state::lock_recover;
 
 /// What [`Engine::submit`](crate::Engine::submit) does when the job queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,8 +70,8 @@ impl JobQueue {
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    fn inner(&self) -> MutexGuard<'_, Inner> {
+        lock_recover(&self.inner)
     }
 
     /// Admit a job per the configured policy. `Err` returns the job to the caller with
@@ -81,7 +82,7 @@ impl JobQueue {
         job: Job,
         metrics: &EngineMetrics,
     ) -> Result<(), Box<(Job, EngineError)>> {
-        let mut inner = self.lock();
+        let mut inner = self.inner();
         if inner.closed {
             return Err(Box::new((job, EngineError::Shutdown)));
         }
@@ -166,7 +167,7 @@ impl JobQueue {
     /// Dequeue the next job, blocking while the queue is empty and open. `None` means
     /// the queue is closed and fully drained: the worker should exit.
     pub(crate) fn pop(&self) -> Option<Job> {
-        let mut inner = self.lock();
+        let mut inner = self.inner();
         loop {
             if let Some(job) = inner.queue.pop_front() {
                 drop(inner);
@@ -186,7 +187,7 @@ impl JobQueue {
     /// Close the queue: rejects new submissions, lets workers drain what is queued and
     /// then exit, and wakes every blocked submitter.
     pub(crate) fn close(&self) {
-        self.lock().closed = true;
+        self.inner().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }

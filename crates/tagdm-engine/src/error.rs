@@ -46,13 +46,22 @@ impl EngineError {
     /// expiry are load- or luck-dependent and worth retrying (a resubmission restarts
     /// the deadline clock); invalid problems, unknown names and shutdown are
     /// deterministic and never retried.
+    // tagdm-lint rule ER01 diffs this match against the enum: every variant must be
+    // classified explicitly so a new variant cannot silently default to one side.
+    // `matches!` (which clippy would prefer here) would hide the non-transient
+    // variants from that diff.
+    #[allow(clippy::match_like_matches_macro)]
     pub fn is_transient(&self) -> bool {
-        matches!(
-            self,
+        match self {
             EngineError::WorkerPanicked { .. }
-                | EngineError::Overloaded { .. }
-                | EngineError::DeadlineExpiredInQueue { .. }
-        )
+            | EngineError::Overloaded { .. }
+            | EngineError::DeadlineExpiredInQueue { .. } => true,
+            EngineError::UnknownDataset(_)
+            | EngineError::UnknownContext(_)
+            | EngineError::InvalidGrouping(_)
+            | EngineError::InvalidProblem(_)
+            | EngineError::Shutdown => false,
+        }
     }
 }
 

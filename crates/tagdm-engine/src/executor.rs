@@ -21,7 +21,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -32,7 +32,7 @@ use crate::error::EngineError;
 use crate::failpoint;
 use crate::job::{CacheReport, JobId, SolveRequest, SolveResponse};
 use crate::metrics::EngineMetrics;
-use crate::state::EngineState;
+use crate::state::{lock_recover, EngineState};
 use crate::supervisor::{supervise, SupervisorConfig, WorkerEvent};
 
 pub(crate) struct Job {
@@ -84,18 +84,11 @@ impl PoolShared {
     }
 
     pub(crate) fn push_handle(&self, handle: JoinHandle<()>) {
-        self.handles
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(handle);
+        lock_recover(&self.handles).push(handle);
     }
 
     fn drain_handles(&self) -> Vec<JoinHandle<()>> {
-        self.handles
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .drain(..)
-            .collect()
+        lock_recover(&self.handles).drain(..).collect()
     }
 }
 

@@ -38,10 +38,11 @@ pub use enabled::*;
 #[cfg(feature = "failpoints")]
 mod enabled {
     use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock, PoisonError};
+    use std::sync::{Mutex, OnceLock};
     use std::time::Duration;
 
     use crate::error::EngineError;
+    use crate::state::lock_recover;
 
     /// What an armed failpoint does when it fires.
     #[derive(Debug, Clone)]
@@ -75,7 +76,7 @@ mod enabled {
 
     fn lock() -> std::sync::MutexGuard<'static, HashMap<String, Armed>> {
         // The registry holds no invariants a panicking holder could corrupt.
-        registry().lock().unwrap_or_else(PoisonError::into_inner)
+        lock_recover(registry())
     }
 
     /// Arm `site` to fire `action` on every hit until disarmed.

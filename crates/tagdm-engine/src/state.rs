@@ -10,7 +10,9 @@
 //! hanging.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::Instant;
 
 use tagdm_core::context::MiningContext;
@@ -26,6 +28,30 @@ use crate::failpoint;
 use crate::job::SolverChoice;
 use crate::metrics::EngineMetrics;
 use crate::spec::{ContextKey, ContextSpec};
+
+/// Acquire a mutex, recovering the guard if a previous holder panicked.
+///
+/// The three `*_recover` helpers below are the designated lock-acquisition path for
+/// the whole crate — `tagdm-lint` rule LK01 rejects `.lock().unwrap()` (and the
+/// `.expect(..)` spelling) everywhere else. Poison recovery is sound here because
+/// every structure these locks guard is a plain container (maps, LRU lists, a job
+/// deque) with no cross-field invariant a panicking holder could leave half-written,
+/// and because the alternative — propagating the poison panic — would turn one caught
+/// worker panic into a permanent denial of service for every later caller on the same
+/// lock.
+pub(crate) fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire an `RwLock` for reading, recovering from poisoning; see [`lock_recover`].
+pub(crate) fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire an `RwLock` for writing, recovering from poisoning; see [`lock_recover`].
+pub(crate) fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Key of a cached solver outcome: the context identity plus a canonical rendering of
 /// the problem and the solver choice.
@@ -49,7 +75,7 @@ impl InFlightBuild {
     }
 
     fn wait(&self) -> BuildResult {
-        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut slot = lock_recover(&self.result);
         loop {
             match slot.as_ref() {
                 Some(result) => return result.clone(),
@@ -59,7 +85,7 @@ impl InFlightBuild {
     }
 
     fn fill(&self, result: BuildResult) {
-        *self.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        *lock_recover(&self.result) = Some(result);
         self.done.notify_all();
     }
 }
@@ -96,29 +122,16 @@ impl EngineState {
 
     pub(crate) fn register_dataset(&self, name: String, dataset: Dataset) -> Arc<Dataset> {
         let dataset = Arc::new(dataset);
-        self.datasets
-            .write()
-            .expect("dataset registry lock poisoned")
-            .insert(name, Arc::clone(&dataset));
+        write_recover(&self.datasets).insert(name, Arc::clone(&dataset));
         dataset
     }
 
     pub(crate) fn dataset(&self, name: &str) -> Option<Arc<Dataset>> {
-        self.datasets
-            .read()
-            .expect("dataset registry lock poisoned")
-            .get(name)
-            .cloned()
+        read_recover(&self.datasets).get(name).cloned()
     }
 
     pub(crate) fn dataset_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .datasets
-            .read()
-            .expect("dataset registry lock poisoned")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = read_recover(&self.datasets).keys().cloned().collect();
         names.sort();
         names
     }
@@ -129,10 +142,7 @@ impl EngineState {
         context: MiningContext,
     ) -> Arc<MiningContext> {
         let context = Arc::new(context);
-        self.installed
-            .write()
-            .expect("installed-context lock poisoned")
-            .insert(name, Arc::clone(&context));
+        write_recover(&self.installed).insert(name, Arc::clone(&context));
         context
     }
 
@@ -144,10 +154,7 @@ impl EngineState {
     ) -> Result<(Arc<MiningContext>, bool), EngineError> {
         match spec {
             ContextSpec::Installed { name } => {
-                let context = self
-                    .installed
-                    .read()
-                    .expect("installed-context lock poisoned")
+                let context = read_recover(&self.installed)
                     .get(name)
                     .cloned()
                     .ok_or_else(|| EngineError::UnknownContext(name.clone()))?;
@@ -156,18 +163,13 @@ impl EngineState {
             }
             ContextSpec::Grouped { .. } => {
                 let key = spec.key();
-                if let Some(context) = self
-                    .contexts
-                    .lock()
-                    .expect("context cache lock poisoned")
-                    .get(&key)
-                {
+                if let Some(context) = lock_recover(&self.contexts).get(&key) {
                     self.metrics.context_lookup(true);
                     return Ok((context, true));
                 }
                 // Miss: claim the build, or join one already in flight.
                 let (slot, is_builder) = {
-                    let mut building = self.building.lock().unwrap_or_else(PoisonError::into_inner);
+                    let mut building = lock_recover(&self.building);
                     match building.get(&key) {
                         Some(slot) => (Arc::clone(slot), false),
                         None => {
@@ -194,10 +196,7 @@ impl EngineState {
                 guard.publish(built.clone());
                 if let Ok(context) = &built {
                     self.metrics.context_lookup(false);
-                    self.contexts
-                        .lock()
-                        .expect("context cache lock poisoned")
-                        .insert(key, Arc::clone(context));
+                    lock_recover(&self.contexts).insert(key, Arc::clone(context));
                 }
                 built.map(|context| (context, false))
             }
@@ -236,10 +235,7 @@ impl EngineState {
     /// Deregister an in-flight build claim, filling its slot so waiters wake.
     fn release_build_claim(&self, key: &ContextKey, slot: &InFlightBuild, result: BuildResult) {
         slot.fill(result);
-        self.building
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .remove(key);
+        lock_recover(&self.building).remove(key);
     }
 
     /// The outcome-cache key for a request triple.
@@ -258,20 +254,13 @@ impl EngineState {
 
     /// Look up a cached outcome, recording the hit/miss.
     pub(crate) fn lookup_outcome(&self, key: &OutcomeKey) -> Option<SolverOutcome> {
-        let cached = self
-            .outcomes
-            .lock()
-            .expect("outcome cache lock poisoned")
-            .get(key);
+        let cached = lock_recover(&self.outcomes).get(key);
         self.metrics.outcome_lookup(cached.is_some());
         cached
     }
 
     pub(crate) fn store_outcome(&self, key: OutcomeKey, outcome: SolverOutcome) {
-        self.outcomes
-            .lock()
-            .expect("outcome cache lock poisoned")
-            .insert(key, outcome);
+        lock_recover(&self.outcomes).insert(key, outcome);
     }
 
     /// The memoized pairwise objective matrix for a (context, problem-objectives) pair —
@@ -284,12 +273,7 @@ impl EngineState {
         let objectives = serde_json::to_string(&problem.objectives)
             .expect("objective specs serialize infallibly");
         let key = (spec.key(), objectives);
-        if let Some(matrix) = self
-            .matrices
-            .lock()
-            .expect("matrix cache lock poisoned")
-            .get(&key)
-        {
+        if let Some(matrix) = lock_recover(&self.matrices).get(&key) {
             self.metrics.matrix_lookup(true);
             return Ok(matrix);
         }
@@ -298,10 +282,7 @@ impl EngineState {
             problem.pairwise_objective(&context, i, j)
         }));
         self.metrics.matrix_lookup(false);
-        self.matrices
-            .lock()
-            .expect("matrix cache lock poisoned")
-            .insert(key, Arc::clone(&matrix));
+        lock_recover(&self.matrices).insert(key, Arc::clone(&matrix));
         Ok(matrix)
     }
 }

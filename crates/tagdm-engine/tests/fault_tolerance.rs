@@ -495,6 +495,33 @@ fn panicking_build_wakes_waiters_instead_of_stranding_them() {
     assert!(engine.solve(request(&spec)).result.is_ok());
 }
 
+// --- Outcome-lookup fault injection ---------------------------------------------------
+
+#[test]
+fn outcome_lookup_fault_answers_the_ticket_and_clears() {
+    let _serial = serial();
+    let (engine, spec) = engine_with_corpus(EngineConfig::default().with_workers(1));
+    failpoint::arm_times(
+        site::OUTCOME_LOOKUP,
+        1,
+        FailAction::Error(EngineError::Shutdown),
+    );
+
+    // The injected error surfaces on the ticket instead of reaching the solver.
+    let response = engine
+        .submit(request(&spec))
+        .wait_timeout(Duration::from_secs(10))
+        .expect("a faulted outcome lookup must still answer its ticket");
+    assert_eq!(response.result, Err(EngineError::Shutdown));
+
+    // The site fired its budget: the same request now solves normally.
+    let response = engine
+        .submit(request(&spec))
+        .wait_timeout(Duration::from_secs(10))
+        .expect("the second attempt answers");
+    assert!(response.result.is_ok());
+}
+
 // --- The chaos storm (acceptance criterion) ------------------------------------------
 
 #[test]

@@ -1,0 +1,142 @@
+//! The declared lock hierarchy and its graph checks.
+//!
+//! `crates/tagdm-lint/lock_order.toml` declares, one per line, every lock-order edge
+//! the workspace is allowed to exhibit: `outer -> inner` means a thread may acquire
+//! `inner` while holding `outer`. Rule LK02 extracts the *observed* nesting from the
+//! source (see [`crate::rules::locks`]) and requires observed ⊆ declared; this module
+//! parses the declaration file and detects cycles in the union graph — a cycle is a
+//! potential ABBA deadlock, declared or not.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `outer -> inner` line from the hierarchy file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeclaredEdge {
+    /// The lock held first.
+    pub from: String,
+    /// The lock acquired while `from` is held.
+    pub to: String,
+    /// 1-based line in the hierarchy file.
+    pub line: u32,
+}
+
+/// Parse the hierarchy file. Lines are `outer -> inner`, `#` starts a comment,
+/// blank lines are ignored. Malformed lines come back as `(line, message)` errors.
+pub fn parse(text: &str) -> (Vec<DeclaredEdge>, Vec<(u32, String)>) {
+    let mut edges = Vec::new();
+    let mut errors = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = index as u32 + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let Some((from, to)) = content.split_once("->") else {
+            errors.push((line, format!("expected `outer -> inner`, got `{content}`")));
+            continue;
+        };
+        let (from, to) = (from.trim(), to.trim());
+        if from.is_empty() || to.is_empty() || from.contains(' ') || to.contains(' ') {
+            errors.push((line, format!("expected `outer -> inner`, got `{content}`")));
+            continue;
+        }
+        edges.push(DeclaredEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            line,
+        });
+    }
+    (edges, errors)
+}
+
+/// Find a cycle in the directed graph over `edges`, if any, returned as the node
+/// sequence `a -> … -> a`. Deterministic: nodes are visited in sorted order.
+pub fn find_cycle(edges: &[(String, String)]) -> Option<Vec<String>> {
+    let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges {
+        adjacency.entry(from).or_default().insert(to);
+        adjacency.entry(to).or_default();
+    }
+    // Iterative DFS with tri-coloring; a back edge to the active path is a cycle.
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 0 unseen, 1 on path, 2 done
+    let nodes: Vec<&str> = adjacency.keys().copied().collect();
+    for root in nodes {
+        if state.get(root).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        let mut stack: Vec<(&str, Vec<&str>)> =
+            vec![(root, adjacency[root].iter().copied().collect())];
+        state.insert(root, 1);
+        path.push(root);
+        while let Some((node, pending)) = stack.last_mut() {
+            let node = *node;
+            if let Some(next) = pending.pop() {
+                match state.get(next).copied().unwrap_or(0) {
+                    1 => {
+                        // Back edge: slice the active path from `next` onward.
+                        let start = path.iter().position(|n| *n == next).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            path[start..].iter().map(|n| n.to_string()).collect();
+                        cycle.push(next.to_string());
+                        return Some(cycle);
+                    }
+                    0 => {
+                        state.insert(next, 1);
+                        path.push(next);
+                        stack.push((next, adjacency[next].iter().copied().collect()));
+                    }
+                    _ => {}
+                }
+            } else {
+                state.insert(node, 2);
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_edges_comments_and_rejects_malformed_lines() {
+        let (edges, errors) = parse(
+            "# header comment\n\
+             building -> result  # claim fills its slot\n\
+             \n\
+             matrices -> contexts\n\
+             not an edge\n",
+        );
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].from, "building");
+        assert_eq!(edges[0].to, "result");
+        assert_eq!(edges[0].line, 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 5);
+    }
+
+    #[test]
+    fn cycle_detection_finds_abba_and_accepts_dags() {
+        let dag = vec![
+            ("a".to_string(), "b".to_string()),
+            ("b".to_string(), "c".to_string()),
+            ("a".to_string(), "c".to_string()),
+        ];
+        assert!(find_cycle(&dag).is_none());
+
+        let abba = vec![
+            ("a".to_string(), "b".to_string()),
+            ("b".to_string(), "a".to_string()),
+        ];
+        let cycle = find_cycle(&abba).expect("ABBA is a cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 3);
+
+        let self_edge = vec![("m".to_string(), "m".to_string())];
+        assert!(find_cycle(&self_edge).is_some());
+    }
+}

@@ -1,0 +1,154 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p tagdm-lint -- [--deny] [--json] [--skip RULE]... [--root PATH] [--list]
+//! ```
+//!
+//! Findings print to stdout as `RULE file:line message` (or a JSON array with
+//! `--json`); a one-line summary goes to stderr. Exit status is nonzero only under
+//! `--deny`, so plain runs can feed reports without failing builds.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tagdm_lint::{lint_workspace, report, RULES};
+
+struct Options {
+    deny: bool,
+    json: bool,
+    skip: Vec<String>,
+    root: Option<PathBuf>,
+    list: bool,
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: tagdm-lint [--deny] [--json] [--skip RULE]... [--root PATH] [--list]\n\
+         \n\
+         --deny       exit nonzero if any finding is reported\n\
+         --json       print findings as a JSON array instead of text\n\
+         --skip RULE  disable a rule by id (repeatable)\n\
+         --root PATH  workspace root (default: auto-detected from cwd)\n\
+         --list       list the rules and exit\n\
+         \n\
+         rules:\n",
+    );
+    for (id, description) in RULES {
+        out.push_str(&format!("  {id}  {description}\n"));
+    }
+    out
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        deny: false,
+        json: false,
+        skip: Vec::new(),
+        root: None,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => options.deny = true,
+            "--json" => options.json = true,
+            "--list" => options.list = true,
+            "--skip" => {
+                let rule = it.next().ok_or("--skip needs a rule id")?;
+                if !RULES.iter().any(|(id, _)| id == rule) {
+                    return Err(format!("--skip {rule}: unknown rule id"));
+                }
+                options.skip.push(rule.clone());
+            }
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path")?;
+                options.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Walk upward from the cwd to the first directory whose Cargo.toml declares
+/// `[workspace]`.
+fn detect_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory; \
+                        pass --root"
+                .to_string());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("tagdm-lint: {message}");
+            }
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.list {
+        for (id, description) in RULES {
+            println!("{id}  {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match options.root {
+        Some(root) => root,
+        None => match detect_root() {
+            Ok(root) => root,
+            Err(message) => {
+                eprintln!("tagdm-lint: {message}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let findings = match lint_workspace(&root, &options.skip) {
+        Ok(findings) => findings,
+        Err(message) => {
+            eprintln!("tagdm-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.json {
+        print!("{}", report::render_json(&findings));
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+    }
+    eprintln!(
+        "tagdm-lint: {} finding{} ({} rule{} skipped)",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        options.skip.len(),
+        if options.skip.len() == 1 { "" } else { "s" },
+    );
+
+    if options.deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

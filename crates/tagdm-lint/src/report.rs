@@ -1,0 +1,101 @@
+//! Findings and their renderings: `RULE file:line message` text and a JSON array for
+//! machine consumers (CI uploads the JSON report as a build artifact).
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `LK01`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the violation (0 when the finding is file-level).
+    pub line: u32,
+    /// Human-readable explanation including how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Sort findings for stable output: by file, then line, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Render findings as a JSON array (std-only; no serde in this crate by design).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, finding) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(finding.rule),
+            json_escape(&finding.file),
+            finding.line,
+            json_escape(&finding.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_orders() {
+        let mut findings = vec![
+            Finding {
+                rule: "LK02",
+                file: "b.rs".into(),
+                line: 9,
+                message: "edge `a` -> `b`".into(),
+            },
+            Finding {
+                rule: "LK01",
+                file: "a.rs".into(),
+                line: 3,
+                message: "a \"quoted\" path".into(),
+            },
+        ];
+        sort_findings(&mut findings);
+        assert_eq!(findings[0].file, "a.rs");
+        let json = render_json(&findings);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,67 @@
+//! AL01: every `#[allow(...)]` must carry an adjacent justification comment.
+//!
+//! A lint suppression without a recorded reason is indistinguishable from a
+//! suppression that outlived its reason. The rule accepts a comment on the same
+//! line as the attribute or on the line directly above it (including the last line
+//! of a multi-line block comment); doc comments count, since they are how several
+//! existing sites justify their allows.
+
+use std::collections::BTreeSet;
+
+use crate::report::Finding;
+use crate::tokenizer::TokenKind;
+use crate::SourceFile;
+
+/// Run AL01 on one file.
+pub fn al01(file: &SourceFile) -> Vec<Finding> {
+    // Lines on which any comment text sits. Block comments cover every line they
+    // span, so a justification ending right above the attribute still counts.
+    let mut comment_lines: BTreeSet<u32> = BTreeSet::new();
+    for token in &file.tokens {
+        match token.kind {
+            TokenKind::LineComment => {
+                comment_lines.insert(token.line);
+            }
+            TokenKind::BlockComment => {
+                let span = token.text.matches('\n').count() as u32;
+                for l in token.line..=token.line + span {
+                    comment_lines.insert(l);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let code = file.code_tokens();
+    let mut findings = Vec::new();
+    let mut k = 0;
+    while k + 2 < code.len() {
+        // `#[allow(` or `#![allow(` as a raw token pattern.
+        let is_attr = code[k].is_punct('#') && {
+            let mut j = k + 1;
+            if code.get(j).is_some_and(|t| t.is_punct('!')) {
+                j += 1;
+            }
+            code.get(j).is_some_and(|t| t.is_punct('['))
+                && code.get(j + 1).is_some_and(|t| t.is_ident("allow"))
+        };
+        if is_attr {
+            let line = code[k].line;
+            let justified =
+                comment_lines.contains(&line) || (line > 1 && comment_lines.contains(&(line - 1)));
+            if !justified {
+                findings.push(Finding {
+                    rule: "AL01",
+                    file: file.path.clone(),
+                    line,
+                    message: "`#[allow(...)]` without a justification comment on the \
+                              same or preceding line; say why the lint is wrong here \
+                              or fix the code instead"
+                        .to_string(),
+                });
+            }
+        }
+        k += 1;
+    }
+    findings
+}

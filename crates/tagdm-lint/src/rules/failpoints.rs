@@ -1,0 +1,204 @@
+//! FP01: failpoint sites must come from the central registry and be exercised.
+//!
+//! The engine's fault-injection harness (`tagdm-engine/src/failpoint.rs`) declares
+//! every site name once, as a `const` in `pub mod site`. This rule keeps that
+//! registry honest in both directions:
+//!
+//! * call sites (`failpoint::check(…)`, `failpoint::arm*(…)`) must name sites via
+//!   `site::CONST`, never as inline string literals — an inline name can drift from
+//!   the registry and silently never fire;
+//! * every declared const must be evaluated by at least one non-test site (otherwise
+//!   the site has rotted out of the code) and referenced by at least one test under a
+//!   `tests/` directory (otherwise nothing exercises the failure path it models);
+//! * two consts must not share one string value, and `site::X` must not reference an
+//!   undeclared `X`.
+//!
+//! The registry file's own unit tests are exempt from the literal-name check — they
+//! test the harness mechanism itself with ad-hoc names.
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+use crate::tokenizer::TokenKind;
+use crate::SourceFile;
+
+/// Facts about one declared site const.
+struct SiteConst {
+    value: String,
+    line: u32,
+    file: String,
+    source_refs: u32,
+    test_refs: u32,
+}
+
+/// Whether a path counts as test code for FP01 (integration tests exercising the
+/// engine's failure paths live under `tests/`).
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
+}
+
+/// Run FP01 across the whole file set.
+pub fn fp01(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Locate the registry: a `mod site { … }` inside a file named failpoint.rs.
+    let registry = files.iter().find(|f| {
+        f.path.ends_with("failpoint.rs") && {
+            let code = f.code_tokens();
+            code.windows(2)
+                .any(|w| w[0].is_ident("mod") && w[1].is_ident("site"))
+        }
+    });
+
+    let mut consts: BTreeMap<String, SiteConst> = BTreeMap::new();
+    if let Some(registry) = registry {
+        let code = registry.code_tokens();
+        // Find `mod site {` and walk its body for `const NAME: … = "value";`.
+        let mut k = 0;
+        while k + 1 < code.len() && !(code[k].is_ident("mod") && code[k + 1].is_ident("site")) {
+            k += 1;
+        }
+        let mut j = k;
+        while j < code.len() && !code[j].is_punct('{') {
+            j += 1;
+        }
+        let mut depth = 1i32;
+        j += 1;
+        while j < code.len() && depth > 0 {
+            if code[j].is_punct('{') {
+                depth += 1;
+            } else if code[j].is_punct('}') {
+                depth -= 1;
+            } else if code[j].is_ident("const")
+                && code.get(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                let name = code[j + 1].text.clone();
+                let line = code[j + 1].line;
+                // The value is the first string literal before the `;`.
+                let mut v = j + 2;
+                let mut value = None;
+                while v < code.len() && !code[v].is_punct(';') {
+                    if code[v].kind == TokenKind::Str {
+                        value = Some(code[v].text.trim_matches('"').to_string());
+                    }
+                    v += 1;
+                }
+                if let Some(value) = value {
+                    if let Some(previous) =
+                        consts.values().find(|c| c.value == value).map(|c| c.line)
+                    {
+                        findings.push(Finding {
+                            rule: "FP01",
+                            file: registry.path.clone(),
+                            line,
+                            message: format!(
+                                "site const `{name}` duplicates the string value \
+                                 \"{value}\" already declared at line {previous}; \
+                                 site names must be unique"
+                            ),
+                        });
+                    }
+                    consts.insert(
+                        name,
+                        SiteConst {
+                            value,
+                            line,
+                            file: registry.path.clone(),
+                            source_refs: 0,
+                            test_refs: 0,
+                        },
+                    );
+                }
+                j = v;
+            }
+            j += 1;
+        }
+    }
+
+    // Scan all files for `site::NAME` references and inline-literal failpoint calls.
+    for file in files {
+        let code = file.code_tokens();
+        let in_registry = registry.is_some_and(|r| r.path == file.path);
+        let in_tests = is_test_path(&file.path);
+        let mut k = 0;
+        while k + 1 < code.len() {
+            // `failpoint::<fn>("literal"…)` — inline site names are forbidden at
+            // engine call sites (registry-internal unit tests are exempt).
+            if !in_registry
+                && code[k].is_ident("failpoint")
+                && code.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(k + 3).is_some_and(|t| t.kind == TokenKind::Ident)
+                && code.get(k + 4).is_some_and(|t| t.is_punct('('))
+                && code.get(k + 5).is_some_and(|t| t.kind == TokenKind::Str)
+            {
+                findings.push(Finding {
+                    rule: "FP01",
+                    file: file.path.clone(),
+                    line: code[k + 5].line,
+                    message: format!(
+                        "inline failpoint site name {} — name sites via the \
+                         `site::` registry consts so they cannot drift",
+                        code[k + 5].text
+                    ),
+                });
+                k += 6;
+                continue;
+            }
+            // `site::NAME` reference.
+            if code[k].is_ident("site")
+                && code.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(k + 3).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                let name = &code[k + 3].text;
+                match consts.get_mut(name.as_str()) {
+                    Some(c) if in_tests => c.test_refs += 1,
+                    Some(c) if !in_registry => c.source_refs += 1,
+                    Some(_) => {}
+                    None => findings.push(Finding {
+                        rule: "FP01",
+                        file: file.path.clone(),
+                        line: code[k + 3].line,
+                        message: format!(
+                            "`site::{name}` is not declared in the failpoint \
+                             registry; add the const to `mod site`"
+                        ),
+                    }),
+                }
+                k += 4;
+                continue;
+            }
+            k += 1;
+        }
+    }
+
+    for (name, c) in &consts {
+        if c.source_refs == 0 {
+            findings.push(Finding {
+                rule: "FP01",
+                file: c.file.clone(),
+                line: c.line,
+                message: format!(
+                    "failpoint site `{name}` (\"{}\") is declared but never \
+                     evaluated by any engine call site; delete it or wire it in",
+                    c.value
+                ),
+            });
+        }
+        if c.test_refs == 0 {
+            findings.push(Finding {
+                rule: "FP01",
+                file: c.file.clone(),
+                line: c.line,
+                message: format!(
+                    "failpoint site `{name}` (\"{}\") has no test reference under \
+                     tests/; every site must have at least one fault-injection test",
+                    c.value
+                ),
+            });
+        }
+    }
+
+    findings
+}

@@ -1,0 +1,424 @@
+//! Lock rules: LK01 (no panicking lock acquisitions) and LK02 (lock-order /
+//! deadlock analysis).
+//!
+//! ## LK01
+//!
+//! `.lock().unwrap()`, `.read().unwrap()`, `.write().unwrap()` — and the `.expect(…)`
+//! spellings — propagate lock poisoning: one caught panic while a guard is held turns
+//! into a panic for *every* later acquirer, which is exactly the caller-hang /
+//! pool-drain failure class the engine's fault-tolerance layer exists to prevent.
+//! All acquisitions must go through the poison-recovering helpers in
+//! `crates/tagdm-engine/src/state.rs` (`lock_recover` / `read_recover` /
+//! `write_recover`), which the rule recognizes and which are themselves written with
+//! `unwrap_or_else(PoisonError::into_inner)`.
+//!
+//! Only *zero-argument* `.read()` / `.write()` calls are treated as lock
+//! acquisitions — `io::Read::read(&mut buf)` and friends always take arguments, so
+//! they never match.
+//!
+//! ## LK02
+//!
+//! Per function body, the rule tracks live lock guards and records an edge
+//! `outer -> inner` whenever a lock is acquired while another guard is still live.
+//! Guards come in two flavors, mirroring Rust's drop rules closely enough for a
+//! token-level analysis:
+//!
+//! * `let`-bound guards live until their enclosing block closes or an explicit
+//!   `drop(binding)`;
+//! * temporary guards (acquisitions not at a `let` statement, e.g. an `if let`
+//!   scrutinee) live to the end of their statement — which for `if let`/`match`
+//!   scrutinees includes the attached block, matching the 2021-edition temporary
+//!   lifetime.
+//!
+//! Lock identity is the receiver's final path segment (`self.building.lock()` and
+//! `lock_recover(&self.building)` are both lock `building`), so lock *fields* must be
+//! uniquely named across the workspace. The analysis is intraprocedural; guards
+//! returned from helpers are not tracked across calls (see ROADMAP for the
+//! interprocedural follow-up). It deliberately over-approximates `let`-guard
+//! lifetimes — for a deadlock linter, reporting slightly too much nesting is the safe
+//! direction.
+//!
+//! Every observed edge must appear in `crates/tagdm-lint/lock_order.toml`, and the
+//! union of declared and observed edges must be acyclic; a self-edge (re-acquiring a
+//! held lock) is reported unconditionally since `std::sync::Mutex` is not reentrant.
+
+use std::collections::BTreeSet;
+
+use crate::lock_order::{find_cycle, DeclaredEdge};
+use crate::report::Finding;
+use crate::tokenizer::Token;
+use crate::SourceFile;
+
+/// Zero-argument methods that acquire a lock guard.
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+/// The workspace's designated poison-recovering acquisition helpers.
+const RECOVER_HELPERS: &[&str] = &["lock_recover", "read_recover", "write_recover"];
+
+/// LK01: flag `.lock()/.read()/.write()` immediately unwrapped or expected.
+pub fn lk01(file: &SourceFile) -> Vec<Finding> {
+    let code = file.code_tokens();
+    let mut findings = Vec::new();
+    let mut k = 0;
+    while k + 6 < code.len() {
+        let is_acquire = code[k].is_punct('.')
+            && code[k + 1].kind == crate::tokenizer::TokenKind::Ident
+            && GUARD_METHODS.contains(&code[k + 1].text.as_str())
+            && code[k + 2].is_punct('(')
+            && code[k + 3].is_punct(')');
+        if is_acquire
+            && code[k + 4].is_punct('.')
+            && (code[k + 5].is_ident("unwrap") || code[k + 5].is_ident("expect"))
+            && code[k + 6].is_punct('(')
+        {
+            findings.push(Finding {
+                rule: "LK01",
+                file: file.path.clone(),
+                line: code[k + 1].line,
+                message: format!(
+                    "`.{}().{}(..)` panics every later acquirer once the lock is poisoned; \
+                     use the poison-recovering helpers in crates/tagdm-engine/src/state.rs \
+                     ({} or `unwrap_or_else(PoisonError::into_inner)`)",
+                    code[k + 1].text,
+                    code[k + 5].text,
+                    RECOVER_HELPERS.join("/"),
+                ),
+            });
+            k += 7;
+        } else {
+            k += 1;
+        }
+    }
+    findings
+}
+
+/// One observed nested acquisition: `to` acquired at `file:line` while `from` held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock already held.
+    pub from: String,
+    /// Lock acquired while `from` is held.
+    pub to: String,
+    /// File of the inner acquisition.
+    pub file: String,
+    /// Line of the inner acquisition.
+    pub line: u32,
+}
+
+/// A live guard during the body scan.
+struct GuardState {
+    lock: String,
+    binding: Option<String>,
+    depth: i32,
+    temp: bool,
+}
+
+/// Extract every observed lock-order edge from one file.
+pub fn extract_edges(file: &SourceFile) -> Vec<LockEdge> {
+    let code = file.code_tokens();
+    let mut edges = Vec::new();
+    let mut k = 0;
+    while k < code.len() {
+        // A function item: `fn name … { body }`. `fn` followed by a non-ident is a
+        // fn-pointer type, not an item.
+        if code[k].is_ident("fn")
+            && code
+                .get(k + 1)
+                .is_some_and(|t| t.kind == crate::tokenizer::TokenKind::Ident)
+        {
+            let mut j = k + 2;
+            while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+                j += 1;
+            }
+            if j < code.len() && code[j].is_punct('{') {
+                k = scan_body(&code, j, file, &mut edges);
+                continue;
+            }
+            k = j;
+        }
+        k += 1;
+    }
+    edges
+}
+
+/// Scan one `{ … }` body starting at `open` (index of `{`); returns the index just
+/// past the matching `}`. Appends observed edges.
+fn scan_body(code: &[&Token], open: usize, file: &SourceFile, edges: &mut Vec<LockEdge>) -> usize {
+    let mut depth: i32 = 1;
+    let mut guards: Vec<GuardState> = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut stmt_start = true;
+    let mut stmt_let = false;
+    let mut let_binding: Option<String> = None;
+    let mut awaiting_binding = false;
+
+    let mut k = open + 1;
+    while k < code.len() {
+        let t = code[k];
+        if t.is_punct('{') {
+            depth += 1;
+            stmt_start = true;
+            stmt_let = false;
+            let_binding = None;
+            awaiting_binding = false;
+            k += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            // Temporaries die when their statement's depth is closed back over;
+            // let-guards die when their binding block closes.
+            guards.retain(|g| {
+                if g.temp {
+                    g.depth < depth
+                } else {
+                    g.depth <= depth
+                }
+            });
+            if depth == 0 {
+                return k + 1;
+            }
+            stmt_start = true;
+            stmt_let = false;
+            let_binding = None;
+            awaiting_binding = false;
+            k += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            guards.retain(|g| !(g.temp && depth <= g.depth));
+            stmt_start = true;
+            stmt_let = false;
+            let_binding = None;
+            awaiting_binding = false;
+            k += 1;
+            continue;
+        }
+
+        if awaiting_binding {
+            if t.is_ident("mut") {
+                k += 1;
+                continue;
+            }
+            if t.kind == crate::tokenizer::TokenKind::Ident {
+                let_binding = Some(t.text.clone());
+            }
+            awaiting_binding = false;
+        }
+        if stmt_start && t.is_ident("let") {
+            stmt_let = true;
+            awaiting_binding = true;
+            stmt_start = false;
+            k += 1;
+            continue;
+        }
+        stmt_start = false;
+
+        // Explicit early drop of a let-bound guard.
+        if t.is_ident("drop")
+            && code.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && code
+                .get(k + 2)
+                .is_some_and(|t| t.kind == crate::tokenizer::TokenKind::Ident)
+            && code.get(k + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            let name = &code[k + 2].text;
+            guards.retain(|g| g.binding.as_deref() != Some(name.as_str()));
+            k += 4;
+            continue;
+        }
+
+        if let Some((lock, line, next)) = acquisition_at(code, k) {
+            for guard in &guards {
+                if seen.insert((guard.lock.clone(), lock.clone())) {
+                    edges.push(LockEdge {
+                        from: guard.lock.clone(),
+                        to: lock.clone(),
+                        file: file.path.clone(),
+                        line,
+                    });
+                }
+            }
+            guards.push(GuardState {
+                lock,
+                binding: if stmt_let { let_binding.clone() } else { None },
+                depth,
+                temp: !stmt_let,
+            });
+            k = next;
+            continue;
+        }
+
+        k += 1;
+    }
+    code.len()
+}
+
+/// If a lock acquisition pattern starts at `k`, return `(lock name, line, index just
+/// past the pattern)`. Recognizes `receiver.lock()` / `.read()` / `.write()` with no
+/// arguments, and `lock_recover(&path.to.lock)`-style helper calls.
+fn acquisition_at(code: &[&Token], k: usize) -> Option<(String, u32, usize)> {
+    // Helper-call form.
+    if code[k].kind == crate::tokenizer::TokenKind::Ident
+        && RECOVER_HELPERS.contains(&code[k].text.as_str())
+        && code.get(k + 1).is_some_and(|t| t.is_punct('('))
+    {
+        // Don't treat the helper *definitions*' `fn lock_recover` as calls: the
+        // pattern requires the preceding token not to be `fn` (handled by the body
+        // scanner never starting a statement with `fn` + call) — and a preceding `.`
+        // would make it a method, which the helpers are not.
+        let mut depth = 1;
+        let mut j = k + 2;
+        let mut last_ident: Option<&Token> = None;
+        while j < code.len() && depth > 0 {
+            if code[j].is_punct('(') {
+                depth += 1;
+            } else if code[j].is_punct(')') {
+                depth -= 1;
+            } else if code[j].kind == crate::tokenizer::TokenKind::Ident && depth == 1 {
+                last_ident = Some(code[j]);
+            }
+            j += 1;
+        }
+        let name = last_ident.map(|t| t.text.clone())?;
+        return Some((name, code[k].line, j));
+    }
+    // Method form: `.lock()` with zero arguments.
+    if code[k].is_punct('.')
+        && code
+            .get(k + 1)
+            .is_some_and(|t| t.kind == crate::tokenizer::TokenKind::Ident)
+        && GUARD_METHODS.contains(&code[k + 1].text.as_str())
+        && code.get(k + 2).is_some_and(|t| t.is_punct('('))
+        && code.get(k + 3).is_some_and(|t| t.is_punct(')'))
+    {
+        let name = receiver_name(code, k);
+        return Some((name, code[k + 1].line, k + 4));
+    }
+    None
+}
+
+/// The final path segment of the receiver ending just before index `dot` (which
+/// holds the `.` of `.lock()`).
+fn receiver_name(code: &[&Token], dot: usize) -> String {
+    if dot == 0 {
+        return "<expr>".to_string();
+    }
+    let prev = code[dot - 1];
+    if prev.kind == crate::tokenizer::TokenKind::Ident {
+        return prev.text.clone();
+    }
+    // `registry().lock()` / `slots[i].lock()`: skip the matched group, then take the
+    // identifier in front of it.
+    let (close, open) = if prev.is_punct(')') {
+        (')', '(')
+    } else if prev.is_punct(']') {
+        (']', '[')
+    } else {
+        return "<expr>".to_string();
+    };
+    let mut depth = 0i32;
+    let mut j = dot - 1;
+    loop {
+        if code[j].is_punct(close) {
+            depth += 1;
+        } else if code[j].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if j == 0 {
+            return "<expr>".to_string();
+        }
+        j -= 1;
+    }
+    if j > 0 && code[j - 1].kind == crate::tokenizer::TokenKind::Ident {
+        code[j - 1].text.clone()
+    } else {
+        "<expr>".to_string()
+    }
+}
+
+/// LK02: check observed edges against the declared hierarchy and reject cycles.
+pub fn lk02(
+    observed: &[LockEdge],
+    declared: &[DeclaredEdge],
+    hierarchy_file: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let declared_pairs: BTreeSet<(&str, &str)> = declared
+        .iter()
+        .map(|e| (e.from.as_str(), e.to.as_str()))
+        .collect();
+
+    let mut reported: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for edge in observed {
+        if edge.from == edge.to {
+            findings.push(Finding {
+                rule: "LK02",
+                file: edge.file.clone(),
+                line: edge.line,
+                message: format!(
+                    "lock `{}` acquired while already held — std::sync::Mutex is not \
+                     reentrant; this self-deadlocks",
+                    edge.to
+                ),
+            });
+            continue;
+        }
+        if !declared_pairs.contains(&(edge.from.as_str(), edge.to.as_str()))
+            && reported.insert((edge.from.as_str(), edge.to.as_str()))
+        {
+            findings.push(Finding {
+                rule: "LK02",
+                file: edge.file.clone(),
+                line: edge.line,
+                message: format!(
+                    "lock-order edge `{}` -> `{}` is not declared in {hierarchy_file}; \
+                     declare it (with a safety comment) or restructure to avoid nesting",
+                    edge.from, edge.to
+                ),
+            });
+        }
+    }
+
+    // Cycle check over the union graph (self-edges are reported above already).
+    let union: Vec<(String, String)> = declared_pairs
+        .iter()
+        .map(|(f, t)| (f.to_string(), t.to_string()))
+        .chain(
+            observed
+                .iter()
+                .filter(|e| e.from != e.to)
+                .map(|e| (e.from.clone(), e.to.clone())),
+        )
+        .collect();
+    if let Some(cycle) = find_cycle(&union) {
+        let path = cycle.join(" -> ");
+        // Anchor the finding at an observed edge on the cycle when there is one;
+        // otherwise at the hierarchy file itself.
+        let anchor = observed
+            .iter()
+            .find(|e| cycle.windows(2).any(|w| w[0] == e.from && w[1] == e.to));
+        let (file, line) = match anchor {
+            Some(edge) => (edge.file.clone(), edge.line),
+            None => (
+                hierarchy_file.to_string(),
+                declared
+                    .iter()
+                    .find(|e| cycle.windows(2).any(|w| w[0] == e.from && w[1] == e.to))
+                    .map_or(0, |e| e.line),
+            ),
+        };
+        findings.push(Finding {
+            rule: "LK02",
+            file,
+            line,
+            message: format!(
+                "lock-order cycle {path}: two threads taking these locks in different \
+                 orders can deadlock (ABBA)"
+            ),
+        });
+    }
+    findings
+}

@@ -1,0 +1,9 @@
+//! The rule implementations. Each rule is a pure function from tokenized sources to
+//! [`crate::report::Finding`]s; file-path scoping (which crates a rule polices) lives
+//! inside each rule so callers can always run every rule over every file.
+
+pub mod allows;
+pub mod errors;
+pub mod failpoints;
+pub mod locks;
+pub mod threads;

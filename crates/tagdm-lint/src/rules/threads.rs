@@ -1,0 +1,84 @@
+//! TH01 and SL01: thread-spawn and sleep hygiene.
+//!
+//! * **TH01** — inside `tagdm-engine`, only the executor and supervisor modules may
+//!   create threads. Every engine thread must be owned by the supervision tree so a
+//!   panic is observed, the worker is respawned, and in-flight tickets are answered;
+//!   a raw `thread::spawn` elsewhere is an unsupervised thread whose panic loses
+//!   work silently.
+//! * **SL01** — solver hot paths in `tagdm-core` must not call `thread::sleep`. The
+//!   admission queue admits jobs by estimated cost; a sleeping solver holds a worker
+//!   slot while doing nothing, which inverts the cost model and stalls the queue.
+//!   (Sleeps in tests and benches are fine — the rule only scopes solver sources.)
+
+use crate::report::Finding;
+use crate::SourceFile;
+
+/// Path prefix TH01 polices.
+const ENGINE_SRC: &str = "crates/tagdm-engine/src/";
+/// Files under [`ENGINE_SRC`] that are allowed to create threads.
+const THREAD_OWNERS: [&str; 2] = ["executor.rs", "supervisor.rs"];
+/// Path prefix SL01 polices.
+const SOLVER_SRC: &str = "crates/tagdm-core/src/solvers/";
+
+/// Run TH01 on one file (no-op outside the engine's source tree).
+pub fn th01(file: &SourceFile) -> Vec<Finding> {
+    let Some(rest) = file.path.strip_prefix(ENGINE_SRC) else {
+        return Vec::new();
+    };
+    if THREAD_OWNERS.contains(&rest) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (line, what) in thread_path_calls(file, &["spawn", "Builder"]) {
+        findings.push(Finding {
+            rule: "TH01",
+            file: file.path.clone(),
+            line,
+            message: format!(
+                "`thread::{what}` outside the executor/supervisor modules creates \
+                 an unsupervised thread; route it through the worker pool so panics \
+                 are observed and replayed"
+            ),
+        });
+    }
+    findings
+}
+
+/// Run SL01 on one file (no-op outside the core solver tree).
+pub fn sl01(file: &SourceFile) -> Vec<Finding> {
+    if !file.path.starts_with(SOLVER_SRC) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (line, _) in thread_path_calls(file, &["sleep"]) {
+        findings.push(Finding {
+            rule: "SL01",
+            file: file.path.clone(),
+            line,
+            message: "`thread::sleep` in a solver hot path holds a worker slot while \
+                      idle and breaks the admission queue's cost model; make the \
+                      solver yield by returning instead"
+                .to_string(),
+        });
+    }
+    findings
+}
+
+/// Find `thread :: <target>` token sequences for each target in `targets`,
+/// returning `(line, target)` per occurrence.
+fn thread_path_calls(file: &SourceFile, targets: &[&'static str]) -> Vec<(u32, &'static str)> {
+    let code = file.code_tokens();
+    let mut hits = Vec::new();
+    let mut k = 0;
+    while k + 3 < code.len() {
+        if code[k].is_ident("thread") && code[k + 1].is_punct(':') && code[k + 2].is_punct(':') {
+            if let Some(target) = targets.iter().find(|t| code[k + 3].is_ident(t)) {
+                hits.push((code[k + 3].line, *target));
+                k += 4;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    hits
+}

@@ -1,0 +1,407 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for invariant rules.
+//!
+//! The linter's rules match *token sequences*, not strings, so occurrences of a
+//! pattern inside string literals, comments or identifiers-with-a-common-prefix never
+//! produce findings. The tokenizer therefore has to get exactly four things right:
+//! string literals (including raw strings with arbitrary `#` fences, byte strings and
+//! escapes), character literals vs. lifetimes, nested block comments, and line
+//! numbers. Everything else — numbers, multi-character operators — is lumped into
+//! simple categories; no rule needs to interpret them.
+
+/// The lexical category of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from character literals).
+    Lifetime,
+    /// A string literal: `"…"`, `r#"…"#`, `b"…"` and friends.
+    Str,
+    /// A character or byte literal: `'x'`, `'\n'`, `b'a'`.
+    Char,
+    /// A numeric literal (integers and floats, any radix; uninterpreted).
+    Num,
+    /// A single punctuation character (`.` `:` `{` …). Multi-character operators
+    /// arrive as consecutive `Punct` tokens.
+    Punct,
+    /// A `//` comment (doc comments included), excluding the trailing newline.
+    LineComment,
+    /// A `/* … */` comment, with nesting.
+    BlockComment,
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical category.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token participates in code (i.e. is not a comment).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex `source` into a token stream. Never fails: unterminated constructs are closed
+/// at end of input (the linter must degrade gracefully on in-progress code).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token { kind, text, line });
+    }
+
+    /// Advance one char, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek(0) == Some('\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == 'r' && matches!(self.peek(1), Some('"') | Some('#')) {
+                self.raw_prefix(1);
+            } else if c == 'b' && matches!(self.peek(1), Some('"')) {
+                let (start, line) = (self.pos, self.line);
+                self.bump(); // b
+                self.quoted_string();
+                self.push(TokenKind::Str, start, line);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                let (start, line) = (self.pos, self.line);
+                self.bump(); // b
+                self.char_literal();
+                self.push(TokenKind::Char, start, line);
+            } else if c == 'b'
+                && self.peek(1) == Some('r')
+                && matches!(self.peek(2), Some('"') | Some('#'))
+            {
+                self.raw_prefix(2);
+            } else if is_ident_start(c) {
+                self.ident();
+            } else if c == '"' {
+                let (start, line) = (self.pos, self.line);
+                self.quoted_string();
+                self.push(TokenKind::Str, start, line);
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                let (start, line) = (self.pos, self.line);
+                self.bump();
+                self.push(TokenKind::Punct, start, line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// At an `r…` or `br…` prefix: raw string (`r"…"`, `r##"…"##`) or raw identifier
+    /// (`r#ident`). `prefix_len` is 1 for `r`, 2 for `br`.
+    fn raw_prefix(&mut self, prefix_len: usize) {
+        let mut hashes = 0usize;
+        while self.peek(prefix_len + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(prefix_len + hashes) == Some('"') {
+            let (start, line) = (self.pos, self.line);
+            for _ in 0..(prefix_len + hashes + 1) {
+                self.bump();
+            }
+            // Scan for `"` followed by `hashes` consecutive `#`.
+            'scan: while let Some(c) = self.peek(0) {
+                if c == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..(1 + hashes) {
+                            self.bump();
+                        }
+                        break 'scan;
+                    }
+                }
+                self.bump();
+            }
+            self.push(TokenKind::Str, start, line);
+        } else if prefix_len == 1 && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier r#name.
+            let (start, line) = (self.pos, self.line);
+            self.bump(); // r
+            self.bump(); // #
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.push(TokenKind::Ident, start, line);
+        } else {
+            // Plain identifier starting with r/b (e.g. `r` alone before `#[derive]`).
+            self.ident();
+        }
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    /// Consume a `"…"` body starting at the opening quote.
+    fn quoted_string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump(); // the escaped char (covers \" and \\)
+            } else if c == '"' {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consume a `'…'` body starting at the opening quote (escape-aware).
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump(); // escaped char; \u{…} tails are consumed by the loop below
+        } else if self.peek(0).is_some() {
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '\'' {
+                return;
+            }
+        }
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        match self.peek(1) {
+            Some(c) if is_ident_start(c) => {
+                // Scan the ident run; a closing quote right after makes it a char.
+                let mut end = 2;
+                while self.peek(end).is_some_and(is_ident_continue) {
+                    end += 1;
+                }
+                if self.peek(end) == Some('\'') {
+                    for _ in 0..=end {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Char, start, line);
+                } else {
+                    self.bump(); // '
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+            }
+            _ => {
+                self.char_literal();
+                self.push(TokenKind::Char, start, line);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        // A fractional part only when a digit follows the dot (keeps `0..n` intact).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Num, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        tokenize(source)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_with_escapes_stay_single_tokens() {
+        let toks = kinds(r#"let s = "a \"quoted\" \\ backslash"; x"#);
+        assert_eq!(
+            toks[3],
+            (TokenKind::Str, r#""a \"quoted\" \\ backslash""#.to_string())
+        );
+        assert_eq!(toks[5], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_fences() {
+        let toks = kinds(r###"r#"contains "quotes" and \ raw"# after"###);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert!(toks[0].1.ends_with(r##""#"##));
+        assert_eq!(toks[1], (TokenKind::Ident, "after".to_string()));
+
+        let toks = kinds("br\"bytes\" tail");
+        assert_eq!(toks[0], (TokenKind::Str, "br\"bytes\"".to_string()));
+        assert_eq!(toks[1], (TokenKind::Ident, "tail".to_string()));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("a /* outer /* inner */ still-comment */ b");
+        assert_eq!(toks[0], (TokenKind::Ident, "a".to_string()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "b".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = tokenize("fn f<'a>(x: &'a str) { let c = 'a'; }")
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.contains(&(TokenKind::Char, "'a'".to_string())));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'".to_string())));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let source = "line1\n\"multi\nline\nstring\"\n/* block\ncomment */\nfinal_ident";
+        let toks = tokenize(source);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // the string starts on line 2
+        assert_eq!(toks[2].line, 5); // the block comment starts on line 5
+        let last = toks.last().unwrap();
+        assert!(last.is_ident("final_ident"));
+        assert_eq!(last.line, 7);
+    }
+
+    #[test]
+    fn raw_identifiers_and_numbers() {
+        let toks = kinds("r#fn 0x1F 1_000 3.25 0..n");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#fn".to_string()));
+        assert_eq!(toks[1], (TokenKind::Num, "0x1F".to_string()));
+        assert_eq!(toks[2], (TokenKind::Num, "1_000".to_string()));
+        assert_eq!(toks[3], (TokenKind::Num, "3.25".to_string()));
+        assert_eq!(toks[4], (TokenKind::Num, "0".to_string()));
+        assert_eq!(toks[5], (TokenKind::Punct, ".".to_string()));
+        assert_eq!(toks[6], (TokenKind::Punct, ".".to_string()));
+        assert_eq!(toks[7], (TokenKind::Ident, "n".to_string()));
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_are_inert() {
+        // The exact scenario the token-based design exists for: these must not look
+        // like real `.lock().unwrap()` code.
+        let source = "let msg = \".lock().unwrap()\"; // .lock().unwrap()\n";
+        let code: Vec<_> = tokenize(source)
+            .into_iter()
+            .filter(Token::is_code)
+            .collect();
+        assert!(!code.iter().any(|t| t.is_ident("lock")));
+    }
+}

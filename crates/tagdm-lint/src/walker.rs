@@ -1,0 +1,49 @@
+//! Workspace file discovery.
+//!
+//! Walks every `.rs` file under the workspace root, excluding `shims/` (vendored
+//! third-party API stand-ins — not our invariants), build output under any `target/`
+//! directory, and dot-directories. Paths come back workspace-relative, `/`-separated
+//! and sorted, so findings are stable across machines and runs.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "shims"];
+
+/// Collect every lintable `.rs` file under `root`, workspace-relative and sorted.
+pub fn walk_rs_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut absolute = Vec::new();
+    recurse(root, &mut absolute)?;
+    let mut relative: Vec<String> = absolute
+        .iter()
+        .map(|path| {
+            path.strip_prefix(root)
+                .unwrap_or(path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    relative.sort();
+    Ok(relative)
+}
+
+fn recurse(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            recurse(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Self-check: the workspace this linter ships in must itself lint clean in deny
+//! mode. This is the executable form of the CI `lint` job's contract — if a change
+//! introduces a finding, this test names it.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_tagdm_lint_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let findings = tagdm_lint::lint_workspace(&root, &[]).expect("lint run");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,4 +1,4 @@
-//! Users and items: entities conforming to a [`Schema`](crate::schema::Schema).
+//! Users and items: entities conforming to a [`Schema`].
 
 use serde::{Deserialize, Serialize};
 

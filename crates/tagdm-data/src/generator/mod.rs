@@ -10,7 +10,7 @@
 //! genres. The mining algorithms only ever see tagging-action tuples, so the substitute
 //! exercises the same code paths while preserving the structure the miners look for.
 //!
-//! The generative model (see [`behavior`]) is a small topic model:
+//! The generative model (see the crate-private `behavior` module) is a small topic model:
 //!
 //! 1. every *genre* has a distribution over latent tag topics;
 //! 2. every *demographic segment* (gender × age band) has a style topic mixed in;

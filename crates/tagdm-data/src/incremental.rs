@@ -3,7 +3,7 @@
 //! The paper's future-work section plans to "handle updates and insertions of new users,
 //! items and tags". This module provides that substrate: a log of [`DatasetUpdate`]s
 //! that can be applied to a [`Dataset`], and an [`IncrementalGrouping`] that keeps the
-//! describable-group enumeration of a [`GroupingScheme`](crate::group::GroupingScheme)
+//! describable-group enumeration of a [`GroupingScheme`]
 //! in sync with appended tagging actions without re-scanning the corpus — each new
 //! action touches exactly one full-description group, so maintenance is `O(|attributes| +
 //! log)` per action. Re-enumerating from scratch and applying updates incrementally must

@@ -1,7 +1,8 @@
 //! Bounded job admission with load shedding.
 //!
 //! The engine's submit path used to feed an *unbounded* channel, so overload turned
-//! into unbounded queue growth and latency collapse. [`JobQueue`] bounds the queue at
+//! into unbounded queue growth and latency collapse. The (crate-private) `JobQueue`
+//! bounds the queue at
 //! a configured capacity and applies an [`AdmissionPolicy`] when it is full, so a
 //! saturated engine degrades predictably: submitters are rejected fast, blocked
 //! briefly, or older queued work is shed to make room.
@@ -24,6 +25,15 @@ use crate::metrics::EngineMetrics;
 use crate::state::lock_recover;
 
 /// What [`Engine::submit`](crate::Engine::submit) does when the job queue is full.
+///
+/// ```
+/// use tagdm_engine::{AdmissionPolicy, EngineConfig};
+///
+/// let config = EngineConfig::default()
+///     .with_queue_capacity(64)
+///     .with_admission(AdmissionPolicy::ShedOldest);
+/// assert_eq!(config.admission, AdmissionPolicy::ShedOldest);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdmissionPolicy {
     /// Fail fast: answer the new job with [`EngineError::Overloaded`] immediately.

@@ -86,6 +86,15 @@ impl EngineConfig {
 /// whole solver outcomes — and runs [`SolveRequest`]s on a fixed worker pool with
 /// cooperative deadline cancellation. All methods take `&self`; share an engine across
 /// threads with `Arc` or plain borrows.
+///
+/// ```
+/// use tagdm_engine::{Engine, EngineConfig};
+///
+/// let engine = Engine::new(EngineConfig::default().with_workers(2));
+/// assert_eq!(engine.num_workers(), 2);
+/// assert_eq!(engine.live_workers(), 2);
+/// assert_eq!(engine.metrics().jobs_submitted, 0);
+/// ```
 pub struct Engine {
     state: Arc<EngineState>,
     executor: JobExecutor,
@@ -239,5 +248,14 @@ impl Engine {
     /// A point-in-time copy of the engine's counters and latency histograms.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.state.metrics.snapshot()
+    }
+
+    /// The live metrics registry the engine stamps as it works.
+    ///
+    /// Transports and other co-resident subsystems fold their own counters into this
+    /// registry (the `net_*` family) so one [`metrics`](Self::metrics) snapshot
+    /// covers the whole service; everyone else should prefer the snapshot.
+    pub fn metrics_registry(&self) -> &crate::metrics::EngineMetrics {
+        &self.state.metrics
     }
 }

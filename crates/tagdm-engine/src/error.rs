@@ -46,6 +46,14 @@ impl EngineError {
     /// expiry are load- or luck-dependent and worth retrying (a resubmission restarts
     /// the deadline clock); invalid problems, unknown names and shutdown are
     /// deterministic and never retried.
+    ///
+    /// ```
+    /// use tagdm_engine::EngineError;
+    ///
+    /// assert!(EngineError::Overloaded { capacity: 8 }.is_transient());
+    /// assert!(!EngineError::UnknownDataset("ml".into()).is_transient());
+    /// assert!(!EngineError::Shutdown.is_transient());
+    /// ```
     // tagdm-lint rule ER01 diffs this match against the enum: every variant must be
     // classified explicitly so a new variant cannot silently default to one side.
     // `matches!` (which clippy would prefer here) would hide the non-transient

@@ -30,6 +30,18 @@ pub mod site {
     pub const CONTEXT_BUILD: &str = "state.context_build";
     /// Just before the solver-outcome cache lookup (delays exercise queue pressure).
     pub const OUTCOME_LOOKUP: &str = "state.outcome_lookup";
+    /// Start of each `tagdm-net` acceptor-loop iteration, *outside* any connection
+    /// boundary: a panic here kills the acceptor thread, exercising its respawn
+    /// guard.
+    pub const NET_ACCEPT: &str = "net.accept";
+    /// Start of each `tagdm-net` connection handler (evaluated once per accepted
+    /// connection), *inside* the connection's panic-isolation boundary: a panic
+    /// here closes that connection only.
+    pub const NET_CONN: &str = "net.conn";
+    /// Just before `tagdm-net` writes a response frame: a delay models a client that
+    /// stopped reading mid-response (socket buffers full), so the per-connection
+    /// write deadline can be exercised deterministically.
+    pub const NET_WRITE_FRAME: &str = "net.write_frame";
 }
 
 #[cfg(feature = "failpoints")]
@@ -128,8 +140,10 @@ mod enabled {
         lock().get(site).map_or(0, |armed| armed.hits)
     }
 
-    /// Evaluate a site: no-op unless armed and due to fire.
-    pub(crate) fn check(site: &str) -> Result<(), EngineError> {
+    /// Evaluate a site: no-op unless armed and due to fire. Public so out-of-crate
+    /// subsystems (the `tagdm-net` transport) can place sites of their own; their
+    /// names still live in [`site`](super::site) so the registry stays single.
+    pub fn check(site: &str) -> Result<(), EngineError> {
         let action = {
             let mut registry = lock();
             match registry.get_mut(site) {
@@ -202,6 +216,6 @@ mod enabled {
 /// Evaluate a site. Without the `failpoints` feature this is an inlined no-op.
 #[cfg(not(feature = "failpoints"))]
 #[inline(always)]
-pub(crate) fn check(_site: &str) -> Result<(), EngineError> {
+pub fn check(_site: &str) -> Result<(), EngineError> {
     Ok(())
 }

@@ -82,4 +82,5 @@ pub use job::{CacheReport, JobId, JobTicket, SolveRequest, SolveResponse, Solver
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use retry::{Backoff, RetryPolicy};
 pub use spec::{ContextKey, ContextSpec};
+pub use state::{lock_recover, read_recover, write_recover};
 pub use supervisor::SupervisorConfig;

@@ -48,6 +48,25 @@ pub struct EngineMetrics {
     pub matrix_hits: AtomicU64,
     /// Pairwise objective-matrix cache misses.
     pub matrix_misses: AtomicU64,
+    /// TCP connections accepted by the `tagdm-net` transport.
+    pub net_connections_opened: AtomicU64,
+    /// Transport connections closed, whatever the reason (client EOF, protocol
+    /// fault, deadline cut, draining shutdown).
+    pub net_connections_closed: AtomicU64,
+    /// Request frames the transport decoded successfully.
+    pub net_frames_received: AtomicU64,
+    /// Response frames the transport wrote successfully.
+    pub net_frames_sent: AtomicU64,
+    /// Frames rejected as protocol faults (bad magic, version, kind, length or JSON).
+    pub net_frame_errors: AtomicU64,
+    /// Connections cut because a read or write deadline fired (slow or stalled peer).
+    pub net_deadline_disconnects: AtomicU64,
+    /// `GoAway` frames sent while draining for shutdown.
+    pub net_goaways_sent: AtomicU64,
+    /// Connection handlers that panicked; the panic was isolated to that connection.
+    pub net_conn_panics: AtomicU64,
+    /// Acceptor threads respawned by the transport's supervision guard.
+    pub net_acceptor_restarts: AtomicU64,
     /// Time jobs spent queued before a worker picked them up.
     pub queue_wait: LatencyHistogram,
     /// Time spent building mining contexts (cache-miss path only).
@@ -97,6 +116,55 @@ impl EngineMetrics {
 
     pub(crate) fn context_build_deduped(&self) {
         Self::add(&self.context_builds_deduped);
+    }
+
+    // The `net_*` recorders are `pub`: they are stamped by the out-of-crate
+    // `tagdm-net` transport, which folds its connection/frame counters into this
+    // registry so one `MetricsSnapshot` covers the whole service.
+
+    /// Record an accepted transport connection.
+    pub fn net_connection_opened(&self) {
+        Self::add(&self.net_connections_opened);
+    }
+
+    /// Record a closed transport connection.
+    pub fn net_connection_closed(&self) {
+        Self::add(&self.net_connections_closed);
+    }
+
+    /// Record a request frame decoded successfully.
+    pub fn net_frame_received(&self) {
+        Self::add(&self.net_frames_received);
+    }
+
+    /// Record a response frame written successfully.
+    pub fn net_frame_sent(&self) {
+        Self::add(&self.net_frames_sent);
+    }
+
+    /// Record a frame rejected as a protocol fault.
+    pub fn net_frame_error(&self) {
+        Self::add(&self.net_frame_errors);
+    }
+
+    /// Record a connection cut at its read/write deadline.
+    pub fn net_deadline_disconnect(&self) {
+        Self::add(&self.net_deadline_disconnects);
+    }
+
+    /// Record a `GoAway` frame sent while draining.
+    pub fn net_goaway_sent(&self) {
+        Self::add(&self.net_goaways_sent);
+    }
+
+    /// Record a connection handler panic that was isolated.
+    pub fn net_conn_panicked(&self) {
+        Self::add(&self.net_conn_panics);
+    }
+
+    /// Record an acceptor-thread respawn.
+    pub fn net_acceptor_restarted(&self) {
+        Self::add(&self.net_acceptor_restarts);
     }
 
     pub(crate) fn context_lookup(&self, hit: bool) {
@@ -158,6 +226,15 @@ impl EngineMetrics {
             outcome_misses: load(&self.outcome_misses),
             matrix_hits: load(&self.matrix_hits),
             matrix_misses: load(&self.matrix_misses),
+            net_connections_opened: load(&self.net_connections_opened),
+            net_connections_closed: load(&self.net_connections_closed),
+            net_frames_received: load(&self.net_frames_received),
+            net_frames_sent: load(&self.net_frames_sent),
+            net_frame_errors: load(&self.net_frame_errors),
+            net_deadline_disconnects: load(&self.net_deadline_disconnects),
+            net_goaways_sent: load(&self.net_goaways_sent),
+            net_conn_panics: load(&self.net_conn_panics),
+            net_acceptor_restarts: load(&self.net_acceptor_restarts),
             queue_wait: self.queue_wait.snapshot(),
             context_build: self.context_build.snapshot(),
             solve_hit: self.solve_hit.snapshot(),
@@ -199,6 +276,24 @@ pub struct MetricsSnapshot {
     pub matrix_hits: u64,
     /// Objective-matrix cache misses.
     pub matrix_misses: u64,
+    /// Transport connections accepted.
+    pub net_connections_opened: u64,
+    /// Transport connections closed.
+    pub net_connections_closed: u64,
+    /// Request frames decoded by the transport.
+    pub net_frames_received: u64,
+    /// Response frames written by the transport.
+    pub net_frames_sent: u64,
+    /// Frames rejected as protocol faults.
+    pub net_frame_errors: u64,
+    /// Connections cut at a read/write deadline.
+    pub net_deadline_disconnects: u64,
+    /// `GoAway` frames sent while draining.
+    pub net_goaways_sent: u64,
+    /// Isolated connection-handler panics.
+    pub net_conn_panics: u64,
+    /// Acceptor-thread respawns.
+    pub net_acceptor_restarts: u64,
     /// Queue-wait latency distribution.
     pub queue_wait: HistogramSnapshot,
     /// Context-build latency distribution (misses only).
@@ -211,6 +306,14 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Fraction of context lookups served from cache (0 when there were none).
+    ///
+    /// ```
+    /// let mut snap = tagdm_engine::MetricsSnapshot::default();
+    /// assert_eq!(snap.context_hit_ratio(), 0.0);
+    /// snap.context_hits = 3;
+    /// snap.context_misses = 1;
+    /// assert_eq!(snap.context_hit_ratio(), 0.75);
+    /// ```
     pub fn context_hit_ratio(&self) -> f64 {
         ratio(self.context_hits, self.context_misses)
     }
@@ -252,6 +355,19 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "  matrices  hits={} misses={}\n",
             self.matrix_hits, self.matrix_misses
+        ));
+        out.push_str(&format!(
+            "  network   conns={}/{} frames={}rx/{}tx errors={} deadline_cuts={}\n",
+            self.net_connections_opened,
+            self.net_connections_closed,
+            self.net_frames_received,
+            self.net_frames_sent,
+            self.net_frame_errors,
+            self.net_deadline_disconnects
+        ));
+        out.push_str(&format!(
+            "  net-faults goaways={} conn_panics={} acceptor_restarts={}\n",
+            self.net_goaways_sent, self.net_conn_panics, self.net_acceptor_restarts
         ));
         out.push_str(&format!("  queue wait    {}\n", self.queue_wait.render()));
         out.push_str(&format!(
@@ -296,6 +412,16 @@ mod tests {
         metrics.record_solve(Duration::from_micros(3), true);
         metrics.record_solve(Duration::from_millis(4), false);
         metrics.record_queue_wait(Duration::from_micros(15));
+        metrics.net_connection_opened();
+        metrics.net_connection_opened();
+        metrics.net_connection_closed();
+        metrics.net_frame_received();
+        metrics.net_frame_sent();
+        metrics.net_frame_error();
+        metrics.net_deadline_disconnect();
+        metrics.net_goaway_sent();
+        metrics.net_conn_panicked();
+        metrics.net_acceptor_restarted();
 
         let snap = metrics.snapshot();
         assert_eq!(snap.jobs_submitted, 2);
@@ -321,6 +447,17 @@ mod tests {
         assert!(report.contains("panics=1"));
         assert!(report.contains("restarts=1"));
         assert!(report.contains("deduped=1"));
+        assert_eq!(snap.net_connections_opened, 2);
+        assert_eq!(snap.net_connections_closed, 1);
+        assert_eq!(snap.net_frames_received, 1);
+        assert_eq!(snap.net_frames_sent, 1);
+        assert_eq!(snap.net_frame_errors, 1);
+        assert_eq!(snap.net_deadline_disconnects, 1);
+        assert_eq!(snap.net_goaways_sent, 1);
+        assert_eq!(snap.net_conn_panics, 1);
+        assert_eq!(snap.net_acceptor_restarts, 1);
+        assert!(report.contains("conns=2/1"));
+        assert!(report.contains("acceptor_restarts=1"));
     }
 
     #[test]

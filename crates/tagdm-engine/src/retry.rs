@@ -29,6 +29,16 @@ impl Backoff {
     }
 
     /// The delay before retry number `attempt` (0-based).
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use tagdm_engine::Backoff;
+    ///
+    /// let backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(25));
+    /// assert_eq!(backoff.delay(0), Duration::from_millis(10));
+    /// assert_eq!(backoff.delay(1), Duration::from_millis(20));
+    /// assert_eq!(backoff.delay(9), Duration::from_millis(25)); // capped
+    /// ```
     pub fn delay(&self, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.min(16);
         self.base
@@ -45,6 +55,14 @@ impl Default for Backoff {
 }
 
 /// How many attempts a request gets and how they are paced.
+///
+/// ```
+/// use tagdm_engine::RetryPolicy;
+///
+/// assert_eq!(RetryPolicy::none().max_attempts, 1);
+/// assert_eq!(RetryPolicy::default().max_attempts, 3);
+/// assert_eq!(RetryPolicy::attempts(5).max_attempts, 5);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// Total attempts including the first (so `1` means "never retry"). A value of 0

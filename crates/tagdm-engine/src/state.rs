@@ -32,24 +32,25 @@ use crate::spec::{ContextKey, ContextSpec};
 /// Acquire a mutex, recovering the guard if a previous holder panicked.
 ///
 /// The three `*_recover` helpers below are the designated lock-acquisition path for
-/// the whole crate — `tagdm-lint` rule LK01 rejects `.lock().unwrap()` (and the
+/// the whole workspace (they are re-exported at the crate root so `tagdm-net` and
+/// friends share them) — `tagdm-lint` rule LK01 rejects `.lock().unwrap()` (and the
 /// `.expect(..)` spelling) everywhere else. Poison recovery is sound here because
 /// every structure these locks guard is a plain container (maps, LRU lists, a job
 /// deque) with no cross-field invariant a panicking holder could leave half-written,
 /// and because the alternative — propagating the poison panic — would turn one caught
 /// worker panic into a permanent denial of service for every later caller on the same
 /// lock.
-pub(crate) fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+pub fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
     lock.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Acquire an `RwLock` for reading, recovering from poisoning; see [`lock_recover`].
-pub(crate) fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+pub fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Acquire an `RwLock` for writing, recovering from poisoning; see [`lock_recover`].
-pub(crate) fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+pub fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 

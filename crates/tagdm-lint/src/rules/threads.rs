@@ -1,10 +1,12 @@
 //! TH01 and SL01: thread-spawn and sleep hygiene.
 //!
 //! * **TH01** — inside `tagdm-engine`, only the executor and supervisor modules may
-//!   create threads. Every engine thread must be owned by the supervision tree so a
-//!   panic is observed, the worker is respawned, and in-flight tickets are answered;
-//!   a raw `thread::spawn` elsewhere is an unsupervised thread whose panic loses
-//!   work silently.
+//!   create threads; inside `tagdm-net`, only the server (acceptor) and conn
+//!   (handler) modules may. Every thread must be owned by a supervision or
+//!   registration tree so a panic is observed — workers are respawned, the acceptor
+//!   is respawned by its guard, connection handlers are registered for
+//!   join-on-drain; a raw `thread::spawn` elsewhere is an unsupervised thread whose
+//!   panic loses work silently.
 //! * **SL01** — solver hot paths in `tagdm-core` must not call `thread::sleep`. The
 //!   admission queue admits jobs by estimated cost; a sleeping solver holds a worker
 //!   slot while doing nothing, which inverts the cost model and stalls the queue.
@@ -13,19 +15,37 @@
 use crate::report::Finding;
 use crate::SourceFile;
 
-/// Path prefix TH01 polices.
-const ENGINE_SRC: &str = "crates/tagdm-engine/src/";
-/// Files under [`ENGINE_SRC`] that are allowed to create threads.
-const THREAD_OWNERS: [&str; 2] = ["executor.rs", "supervisor.rs"];
+/// The source trees TH01 polices, each with its designated thread-owner modules.
+/// The engine's threads belong to the worker pool's supervision tree; the
+/// transport's threads are the supervised acceptor (`server.rs`) and the
+/// registered, joined-on-drain connection handlers (`conn.rs`).
+const THREAD_TREES: [(&str, &[&str], &str); 2] = [
+    (
+        "crates/tagdm-engine/src/",
+        &["executor.rs", "supervisor.rs"],
+        "executor/supervisor",
+    ),
+    (
+        "crates/tagdm-net/src/",
+        &["server.rs", "conn.rs"],
+        "server/conn",
+    ),
+];
 /// Path prefix SL01 polices.
 const SOLVER_SRC: &str = "crates/tagdm-core/src/solvers/";
 
-/// Run TH01 on one file (no-op outside the engine's source tree).
+/// Run TH01 on one file (no-op outside the policed source trees).
 pub fn th01(file: &SourceFile) -> Vec<Finding> {
-    let Some(rest) = file.path.strip_prefix(ENGINE_SRC) else {
+    let Some((rest, owners, owner_label)) =
+        THREAD_TREES.iter().find_map(|(tree, owners, label)| {
+            file.path
+                .strip_prefix(tree)
+                .map(|rest| (rest, *owners, *label))
+        })
+    else {
         return Vec::new();
     };
-    if THREAD_OWNERS.contains(&rest) {
+    if owners.contains(&rest) {
         return Vec::new();
     }
     let mut findings = Vec::new();
@@ -35,8 +55,8 @@ pub fn th01(file: &SourceFile) -> Vec<Finding> {
             file: file.path.clone(),
             line,
             message: format!(
-                "`thread::{what}` outside the executor/supervisor modules creates \
-                 an unsupervised thread; route it through the worker pool so panics \
+                "`thread::{what}` outside the {owner_label} modules creates \
+                 an unsupervised thread; route it through a thread owner so panics \
                  are observed and replayed"
             ),
         });

@@ -285,8 +285,21 @@ fn th01_fires_on_raw_spawn_in_engine_but_not_in_thread_owner_modules() {
 
     // Same code is fine in the executor (the designated thread owner) …
     assert!(run_rule("TH01", "crates/tagdm-engine/src/executor.rs", bad, &[]).is_empty());
-    // … and outside the engine entirely.
+    // … and outside the policed trees entirely.
     assert!(run_rule("TH01", "crates/tagdm-bench/src/main.rs", bad, &[]).is_empty());
+}
+
+#[test]
+fn th01_polices_the_net_transport_with_its_own_thread_owners() {
+    let bad = "fn go() { std::thread::spawn(|| {}); }";
+    // A raw spawn in a non-owner transport module is an unsupervised thread …
+    let findings = run_rule("TH01", "crates/tagdm-net/src/client.rs", bad, &[]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("server/conn"));
+
+    // … while the acceptor and connection-handler owners may spawn.
+    assert!(run_rule("TH01", "crates/tagdm-net/src/server.rs", bad, &[]).is_empty());
+    assert!(run_rule("TH01", "crates/tagdm-net/src/conn.rs", bad, &[]).is_empty());
 }
 
 // ---------------------------------------------------------------- SL01

@@ -4,7 +4,7 @@
 //! paper's SM-LSH family of algorithms (Section 4 of "Who Tags What? An Analysis
 //! Framework", Das et al., PVLDB 2012).
 //!
-//! The scheme is Charikar's SimHash (reference [4] of the paper): each hash function is
+//! The scheme is Charikar's SimHash (reference \[4\] of the paper): each hash function is
 //! the sign of a dot product with a random hyperplane whose entries are drawn from
 //! N(0, 1). For two vectors `x`, `y` the probability of agreeing on one bit is
 //! `1 − θ(x, y)/π` (Theorem 2 of the paper, following Goemans–Williamson), so vectors at

@@ -3,8 +3,8 @@
 //! The random-hyperplane scheme of [`hyperplane`](crate::hyperplane) serves the cosine
 //! similarity used on tag signature vectors. The *set-distance* comparison of Section
 //! 2.1.1 (the Jaccard overlap of the item sets tagged by two groups) calls for the
-//! classic MinHash family instead (Indyk–Motwani / Gionis et al., references [13] and
-//! [8] of the paper): the probability that two sets share a minimum under a random
+//! classic MinHash family instead (Indyk–Motwani / Gionis et al., references \[13\] and
+//! \[8\] of the paper): the probability that two sets share a minimum under a random
 //! permutation equals their Jaccard similarity, so short MinHash signatures estimate
 //! Jaccard cheaply, and banding the signature rows yields an LSH index whose collision
 //! probability follows the familiar S-curve `1 − (1 − s^r)^b`.

@@ -1,0 +1,220 @@
+//! Per-connection handler threads: frame dispatch, deadline enforcement and panic
+//! isolation.
+//!
+//! This module is the transport's second thread owner (the first is
+//! [`crate::server`], which owns the acceptor): every accepted stream gets one
+//! handler thread, so a slow or poisoned connection can stall or kill only
+//! itself. The handler polls its socket on a short tick, which is what lets it
+//! notice — between reads — that its read deadline passed or that the server
+//! started draining.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tagdm_engine::failpoint::{self, site};
+
+use crate::error::NetError;
+use crate::frame::{write_frame, FrameAssembler, ReadEvent};
+use crate::health::HealthReport;
+use crate::proto::{AnswerFrame, Frame, GoAwayFrame, PongFrame, SolveFrame, WireError};
+use crate::shutdown::{ConnHandle, ServerShared};
+
+/// Socket read-timeout used as the poll tick: the granularity at which a handler
+/// notices read deadlines and drain. Keep well under any realistic
+/// `read_timeout`.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Budget for the best-effort farewell frame (error or go-away) on a connection
+/// that is already being torn down.
+const FAREWELL_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Spawn the handler thread for one accepted stream and register it for
+/// join-on-drain. Called from the acceptor; a spawn failure just drops the stream.
+pub(crate) fn spawn_conn(shared: &Arc<ServerShared>, stream: TcpStream, peer: SocketAddr) {
+    let done = Arc::new(AtomicBool::new(false));
+    let thread_shared = Arc::clone(shared);
+    let thread_done = Arc::clone(&done);
+    let spawned = thread::Builder::new()
+        .name(format!("tagdm-net-conn-{peer}"))
+        .spawn(move || {
+            let _guard = ConnGuard {
+                shared: Arc::clone(&thread_shared),
+                done: thread_done,
+            };
+            thread_shared.metrics().net_connection_opened();
+            run_conn(&thread_shared, stream);
+        });
+    match spawned {
+        Ok(handle) => shared.register_conn(ConnHandle { done, handle }),
+        Err(_) => shared.metrics().net_frame_error(),
+    }
+}
+
+/// Marks the connection thread finished (so the acceptor can reap its handle) and
+/// folds panic deaths into the metrics. Panic isolation is the thread boundary
+/// itself: an escaped panic unwinds through this guard and kills only this
+/// connection.
+struct ConnGuard {
+    shared: Arc<ServerShared>,
+    done: Arc<AtomicBool>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.shared.metrics().net_conn_panicked();
+        }
+        self.shared.metrics().net_connection_closed();
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Serve the connection, then send the appropriate farewell for how it ended.
+fn run_conn(shared: &ServerShared, mut stream: TcpStream) {
+    match serve_conn(shared, &mut stream) {
+        Ok(()) => {}
+        Err(error) => {
+            shared.metrics().net_frame_error();
+            if matches!(error, NetError::DeadlineExceeded(_)) {
+                shared.metrics().net_deadline_disconnect();
+            }
+            let farewell = Frame::Error(WireError {
+                code: error.wire_code(),
+                message: error.to_string(),
+            });
+            // Best effort: the peer may be gone or not reading; bound the attempt.
+            // The farewell ignores a small configured frame bound — an oversized-
+            // frame report must not be refused for its own size.
+            let _ = stream.set_write_timeout(Some(FAREWELL_TIMEOUT));
+            let _ = write_frame(&mut stream, &farewell, crate::proto::DEFAULT_MAX_FRAME_LEN);
+        }
+    }
+}
+
+/// The read loop: assemble request frames under the connection read deadline,
+/// dispatch them, notice drain between frames.
+fn serve_conn(shared: &ServerShared, stream: &mut TcpStream) -> Result<(), NetError> {
+    // Fault injection: inside this connection's isolation boundary — a panic here
+    // kills this handler thread only. Evaluated once per connection (not per poll
+    // tick) so an armed one-shot deterministically hits the next connection.
+    if let Err(error) = failpoint::check(site::NET_CONN) {
+        return Err(NetError::Malformed(format!(
+            "injected connection fault: {error}"
+        )));
+    }
+    stream.set_read_timeout(Some(TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut assembler = FrameAssembler::new(shared.config.max_frame_len);
+    let mut read_deadline = Instant::now() + shared.config.read_timeout;
+    loop {
+        if shared.is_draining() {
+            shared.metrics().net_goaway_sent();
+            let _ = stream.set_write_timeout(Some(FAREWELL_TIMEOUT));
+            let _ = write_frame(
+                stream,
+                &Frame::GoAway(GoAwayFrame {
+                    reason: "server draining for shutdown".to_string(),
+                }),
+                shared.config.max_frame_len,
+            );
+            return Ok(());
+        }
+        if Instant::now() >= read_deadline {
+            return Err(NetError::DeadlineExceeded(format!(
+                "no complete request within {:?}{}",
+                shared.config.read_timeout,
+                if assembler.mid_frame() {
+                    " (mid-frame)"
+                } else {
+                    ""
+                }
+            )));
+        }
+        match assembler.poll(stream)? {
+            ReadEvent::Tick => continue,
+            ReadEvent::Eof => return Ok(()), // Client hung up cleanly.
+            ReadEvent::Frame(frame) => {
+                shared.metrics().net_frame_received();
+                handle_frame(shared, stream, *frame)?;
+                read_deadline = Instant::now() + shared.config.read_timeout;
+            }
+        }
+    }
+}
+
+/// Dispatch one request frame and write its response.
+fn handle_frame(
+    shared: &ServerShared,
+    stream: &mut TcpStream,
+    frame: Frame,
+) -> Result<(), NetError> {
+    match frame {
+        Frame::Solve(SolveFrame { id, mut request }) => {
+            // Deadline mapping: the remote job runs under min(requested, cap), and a
+            // request without a deadline gets the cap — a remote client can never
+            // hold an engine worker longer than the server allows.
+            let cap = shared.config.job_deadline_cap;
+            request.deadline = Some(request.deadline.map_or(cap, |d| d.min(cap)));
+            let response = shared.engine.solve(request);
+            write_response(shared, stream, &Frame::Answer(AnswerFrame { id, response }))
+        }
+        Frame::Ping(ping) => write_response(
+            shared,
+            stream,
+            &Frame::Pong(PongFrame {
+                nonce: ping.nonce,
+                pad: ping.pad,
+            }),
+        ),
+        Frame::Health => write_response(
+            shared,
+            stream,
+            &Frame::HealthReport(HealthReport::gather(&shared.engine, shared.is_draining())),
+        ),
+        // Response kinds arriving at the server are a protocol fault.
+        other => Err(NetError::UnknownKind(other.kind())),
+    }
+}
+
+/// Write one response frame under the per-frame write deadline. A client that
+/// stopped reading (buffers full) times the write out, which surfaces as
+/// [`NetError::DeadlineExceeded`] and disconnects it.
+fn write_response(
+    shared: &ServerShared,
+    stream: &mut TcpStream,
+    frame: &Frame,
+) -> Result<(), NetError> {
+    let deadline = Instant::now() + shared.config.write_timeout;
+    // Fault injection: a delay here consumes the write budget, modelling a client
+    // that stopped reading, without having to actually fill socket buffers.
+    if let Err(error) = failpoint::check(site::NET_WRITE_FRAME) {
+        return Err(NetError::Malformed(format!(
+            "injected write fault: {error}"
+        )));
+    }
+    let now = Instant::now();
+    if now >= deadline {
+        return Err(NetError::DeadlineExceeded(
+            "write budget exhausted before the frame was sent".to_string(),
+        ));
+    }
+    stream.set_write_timeout(Some(deadline - now))?;
+    match write_frame(stream, frame, shared.config.max_frame_len) {
+        Ok(()) => {
+            shared.metrics().net_frame_sent();
+            Ok(())
+        }
+        Err(NetError::Io { kind, message })
+            if kind == ErrorKind::WouldBlock || kind == ErrorKind::TimedOut =>
+        {
+            Err(NetError::DeadlineExceeded(format!(
+                "client stopped reading: {message}"
+            )))
+        }
+        Err(error) => Err(error),
+    }
+}

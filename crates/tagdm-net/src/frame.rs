@@ -1,0 +1,400 @@
+//! Byte-level framing: header encode/parse, incremental frame assembly and frame
+//! writes.
+//!
+//! A frame on the wire is `MAGIC ‖ version ‖ kind ‖ len_be32 ‖ payload` — a fixed
+//! [`HEADER_LEN`]-byte header followed by `len` bytes of UTF-8 JSON. The
+//! [`FrameAssembler`] accumulates bytes across short reads (and across socket
+//! read-timeout ticks, which servers use to poll their per-connection deadlines),
+//! so a frame split across arbitrarily many TCP segments still decodes, and a
+//! stream cut mid-frame is reported as a *torn frame* rather than silently
+//! resynchronized. The unit tests here pin the worked examples of
+//! `docs/PROTOCOL.md` byte-for-byte.
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::error::NetError;
+use crate::proto::{Frame, HEADER_LEN, MAGIC, VERSION};
+
+/// Encode the fixed header for a frame of `kind` with a `len`-byte payload.
+pub fn encode_header(kind: u8, len: u32) -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = kind;
+    header[6..].copy_from_slice(&len.to_be_bytes());
+    header
+}
+
+/// Validate a received header: magic, version and the payload-length bound.
+/// Returns `(kind, payload_len)`.
+pub fn parse_header(header: &[u8; HEADER_LEN], max_len: u32) -> Result<(u8, u32), NetError> {
+    if header[..4] != MAGIC {
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&header[..4]);
+        return Err(NetError::BadMagic(magic));
+    }
+    if header[4] != VERSION {
+        return Err(NetError::UnsupportedVersion {
+            got: header[4],
+            expected: VERSION,
+        });
+    }
+    let len = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+    if len > max_len {
+        return Err(NetError::FrameTooLarge { len, max: max_len });
+    }
+    Ok((header[5], len))
+}
+
+/// Encode a whole frame (header + JSON payload) into one buffer.
+pub fn encode_frame(frame: &Frame, max_len: u32) -> Result<Vec<u8>, NetError> {
+    let payload = frame.encode_payload()?;
+    let len = u32::try_from(payload.len()).map_err(|_| NetError::FrameTooLarge {
+        len: u32::MAX,
+        max: max_len,
+    })?;
+    if len > max_len {
+        return Err(NetError::FrameTooLarge { len, max: max_len });
+    }
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&encode_header(frame.kind(), len));
+    bytes.extend_from_slice(payload.as_bytes());
+    Ok(bytes)
+}
+
+/// Write a whole frame to `writer` in one `write_all`. A socket write timeout
+/// surfaces as [`NetError::Io`] with kind `WouldBlock`/`TimedOut`.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame, max_len: u32) -> Result<(), NetError> {
+    let bytes = encode_frame(frame, max_len)?;
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// What one [`FrameAssembler::poll`] produced.
+#[derive(Debug, PartialEq)]
+pub enum ReadEvent {
+    /// A complete frame was assembled (boxed: a `SOLVE` frame carries a whole
+    /// engine request, which would otherwise dominate the enum's size).
+    Frame(Box<Frame>),
+    /// The read timed out (socket read-timeout tick) with the stream still healthy.
+    /// The assembler keeps any partial bytes; poll again to continue the same frame.
+    Tick,
+    /// The peer closed the stream cleanly at a frame boundary.
+    Eof,
+}
+
+/// Incremental frame reader: survives short reads and read-timeout ticks, detects
+/// torn frames. One assembler serves one stream for its whole life (frames cannot
+/// interleave within a connection direction).
+#[derive(Debug)]
+pub struct FrameAssembler {
+    max_len: u32,
+    buf: Vec<u8>,
+    /// Parsed header of the frame in progress, once `buf` held [`HEADER_LEN`] bytes.
+    header: Option<(u8, u32)>,
+}
+
+impl FrameAssembler {
+    /// An assembler enforcing `max_len` on declared payload lengths.
+    pub fn new(max_len: u32) -> Self {
+        FrameAssembler {
+            max_len,
+            buf: Vec::new(),
+            header: None,
+        }
+    }
+
+    /// Whether the stream is mid-frame (bytes consumed but no complete frame yet).
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty() || self.header.is_some()
+    }
+
+    fn target(&self) -> usize {
+        match self.header {
+            None => HEADER_LEN,
+            Some((_, len)) => len as usize,
+        }
+    }
+
+    /// Pull bytes from `reader` until a complete frame, a timeout tick, EOF or an
+    /// error. Protocol faults (bad magic, wrong version, oversized or undecodable
+    /// frames) and torn frames are terminal for the stream: the assembler does not
+    /// attempt to resynchronize.
+    pub fn poll<R: Read>(&mut self, reader: &mut R) -> Result<ReadEvent, NetError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            let target = self.target();
+            while self.buf.len() < target {
+                let want = (target - self.buf.len()).min(chunk.len());
+                match reader.read(&mut chunk[..want]) {
+                    Ok(0) => {
+                        if self.mid_frame() {
+                            return Err(NetError::Malformed(format!(
+                                "torn frame: stream closed after {} of {} bytes",
+                                self.buf.len(),
+                                target
+                            )));
+                        }
+                        return Ok(ReadEvent::Eof);
+                    }
+                    Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                    Err(error)
+                        if error.kind() == ErrorKind::WouldBlock
+                            || error.kind() == ErrorKind::TimedOut =>
+                    {
+                        return Ok(ReadEvent::Tick);
+                    }
+                    Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                    Err(error) => return Err(error.into()),
+                }
+            }
+            match self.header {
+                None => {
+                    let mut header = [0u8; HEADER_LEN];
+                    header.copy_from_slice(&self.buf[..HEADER_LEN]);
+                    self.header = Some(parse_header(&header, self.max_len)?);
+                    self.buf.clear();
+                }
+                Some((kind, _)) => {
+                    let payload = std::str::from_utf8(&self.buf)
+                        .map_err(|_| NetError::Malformed("payload is not UTF-8".to_string()))?;
+                    let frame = Frame::decode(kind, payload)?;
+                    self.buf.clear();
+                    self.header = None;
+                    return Ok(ReadEvent::Frame(Box::new(frame)));
+                }
+            }
+        }
+    }
+}
+
+/// Read one frame, blocking. A socket read timeout maps to
+/// [`NetError::DeadlineExceeded`] (the caller set the timeout as its read
+/// deadline); clean EOF maps to an `UnexpectedEof` [`NetError::Io`].
+pub fn read_frame<R: Read>(reader: &mut R, max_len: u32) -> Result<Frame, NetError> {
+    let mut assembler = FrameAssembler::new(max_len);
+    match assembler.poll(reader)? {
+        ReadEvent::Frame(frame) => Ok(*frame),
+        ReadEvent::Tick => Err(NetError::DeadlineExceeded(
+            "read timed out waiting for a frame".to_string(),
+        )),
+        ReadEvent::Eof => Err(NetError::Io {
+            kind: ErrorKind::UnexpectedEof,
+            message: "stream closed before a frame".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{kind, PingFrame, WireError, DEFAULT_MAX_FRAME_LEN};
+    use std::io::Cursor;
+
+    const MAX: u32 = DEFAULT_MAX_FRAME_LEN;
+
+    /// Pins the worked example of docs/PROTOCOL.md byte-for-byte: a PING frame with
+    /// nonce 7 and empty padding.
+    #[test]
+    fn protocol_md_ping_example_is_exact() {
+        let frame = Frame::Ping(PingFrame {
+            nonce: 7,
+            pad: String::new(),
+        });
+        let bytes = encode_frame(&frame, MAX).expect("encode");
+        let expected: &[u8] = &[
+            0x54, 0x44, 0x4d, 0x46, // "TDMF"
+            0x01, // version 1
+            0x02, // kind PING
+            0x00, 0x00, 0x00, 0x14, // payload length 20, big-endian
+        ];
+        assert_eq!(&bytes[..HEADER_LEN], expected);
+        assert_eq!(&bytes[HEADER_LEN..], br#"{"nonce":7,"pad":""}"#);
+    }
+
+    /// Pins the second worked example of docs/PROTOCOL.md: the empty-payload HEALTH
+    /// probe is exactly its 10 header bytes.
+    #[test]
+    fn protocol_md_health_example_is_exact() {
+        let bytes = encode_frame(&Frame::Health, MAX).expect("encode");
+        assert_eq!(
+            bytes,
+            [0x54, 0x44, 0x4d, 0x46, 0x01, 0x03, 0x00, 0x00, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_assembler() {
+        let frames = [
+            Frame::Ping(PingFrame {
+                nonce: u64::MAX,
+                pad: "padding \"quoted\"\n".to_string(),
+            }),
+            Frame::Health,
+            Frame::Error(WireError {
+                code: 3,
+                message: "nope".to_string(),
+            }),
+        ];
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&encode_frame(frame, MAX).expect("encode"));
+        }
+        let mut reader = Cursor::new(wire);
+        let mut assembler = FrameAssembler::new(MAX);
+        for frame in &frames {
+            match assembler.poll(&mut reader).expect("poll") {
+                ReadEvent::Frame(decoded) => assert_eq!(decoded.as_ref(), frame),
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+        assert_eq!(assembler.poll(&mut reader).expect("poll"), ReadEvent::Eof);
+    }
+
+    /// A reader that yields one byte per call, then a final result.
+    struct Trickle {
+        bytes: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos == self.bytes.len() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn single_byte_reads_still_assemble() {
+        let frame = Frame::Ping(PingFrame {
+            nonce: 9,
+            pad: "x".to_string(),
+        });
+        let mut reader = Trickle {
+            bytes: encode_frame(&frame, MAX).expect("encode"),
+            pos: 0,
+        };
+        let mut assembler = FrameAssembler::new(MAX);
+        assert_eq!(
+            assembler.poll(&mut reader).expect("poll"),
+            ReadEvent::Frame(Box::new(frame))
+        );
+    }
+
+    #[test]
+    fn torn_frames_are_reported_not_resynchronized() {
+        let frame = Frame::Ping(PingFrame {
+            nonce: 1,
+            pad: "padding".to_string(),
+        });
+        let bytes = encode_frame(&frame, MAX).expect("encode");
+        // Cut the stream mid-payload and mid-header.
+        for cut in [HEADER_LEN + 3, 4] {
+            let mut reader = Cursor::new(bytes[..cut].to_vec());
+            let mut assembler = FrameAssembler::new(MAX);
+            match assembler.poll(&mut reader) {
+                Err(NetError::Malformed(message)) => assert!(message.contains("torn")),
+                other => panic!("expected a torn-frame error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn header_faults_are_typed() {
+        let mut bad_magic = encode_header(kind::PING, 0);
+        bad_magic[..4].copy_from_slice(b"HTTP");
+        assert_eq!(
+            parse_header(&bad_magic, MAX),
+            Err(NetError::BadMagic(*b"HTTP"))
+        );
+
+        let mut bad_version = encode_header(kind::PING, 0);
+        bad_version[4] = 9;
+        assert_eq!(
+            parse_header(&bad_version, MAX),
+            Err(NetError::UnsupportedVersion {
+                got: 9,
+                expected: 1
+            })
+        );
+
+        let oversized = encode_header(kind::PING, 64);
+        assert_eq!(
+            parse_header(&oversized, 32),
+            Err(NetError::FrameTooLarge { len: 64, max: 32 })
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_buffering() {
+        let mut wire = encode_header(kind::PING, 1024).to_vec();
+        wire.extend_from_slice(&[0u8; 1024]);
+        let mut assembler = FrameAssembler::new(16);
+        match assembler.poll(&mut Cursor::new(wire)) {
+            Err(NetError::FrameTooLarge { len: 1024, max: 16 }) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ticks_preserve_partial_frames() {
+        struct TimeoutOnce {
+            bytes: Vec<u8>,
+            pos: usize,
+            timed_out: bool,
+        }
+        impl Read for TimeoutOnce {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                // Deliver half the bytes, fake one read timeout, then the rest.
+                let half = self.bytes.len() / 2;
+                if self.pos == half && !self.timed_out {
+                    self.timed_out = true;
+                    return Err(std::io::Error::new(ErrorKind::WouldBlock, "tick"));
+                }
+                let end = if self.pos < half {
+                    half
+                } else {
+                    self.bytes.len()
+                };
+                let n = (end - self.pos).min(buf.len());
+                if n == 0 {
+                    return Ok(0);
+                }
+                buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let frame = Frame::Ping(PingFrame {
+            nonce: 3,
+            pad: "tick tolerance".to_string(),
+        });
+        let mut reader = TimeoutOnce {
+            bytes: encode_frame(&frame, MAX).expect("encode"),
+            pos: 0,
+            timed_out: false,
+        };
+        let mut assembler = FrameAssembler::new(MAX);
+        assert_eq!(assembler.poll(&mut reader).expect("poll"), ReadEvent::Tick);
+        assert!(assembler.mid_frame());
+        assert_eq!(
+            assembler.poll(&mut reader).expect("poll"),
+            ReadEvent::Frame(Box::new(frame))
+        );
+        assert!(!assembler.mid_frame());
+    }
+
+    #[test]
+    fn blocking_read_frame_maps_edge_results() {
+        let mut empty = Cursor::new(Vec::new());
+        match read_frame(&mut empty, MAX) {
+            Err(NetError::Io { kind, .. }) => assert_eq!(kind, ErrorKind::UnexpectedEof),
+            other => panic!("expected UnexpectedEof, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The typed layer of the wire protocol: frame kinds, payload types and error
+//! codes.
+//!
+//! Everything on the wire is a *frame*: a fixed 10-byte header (magic, version,
+//! kind, payload length — see [`crate::frame`]) followed by a UTF-8 JSON payload
+//! whose shape is determined by the kind byte. The payload types here are plain
+//! serde structs; [`Frame`] is the typed union a connection reads and writes.
+//! `docs/PROTOCOL.md` is the normative description — the unit tests in
+//! [`crate::frame`] pin its worked examples byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+
+use tagdm_engine::{SolveRequest, SolveResponse};
+
+use crate::error::NetError;
+use crate::health::HealthReport;
+
+/// The four magic bytes every frame starts with: `b"TDMF"`.
+pub const MAGIC: [u8; 4] = *b"TDMF";
+
+/// The protocol version this build speaks. A frame with any other version byte is
+/// answered with [`code::UNSUPPORTED_VERSION`] and the connection is closed.
+pub const VERSION: u8 = 1;
+
+/// Header length in bytes: magic (4) + version (1) + kind (1) + payload length (4,
+/// big-endian).
+pub const HEADER_LEN: usize = 10;
+
+/// Default upper bound on a frame payload (16 MiB). Both sides refuse to read or
+/// write frames above their configured bound.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Frame kind bytes. Request kinds are below `0x80`, response kinds at or above it;
+/// a server receiving a response kind (or vice versa) treats it as a protocol
+/// fault.
+pub mod kind {
+    /// Client → server: run a solve job ([`SolveFrame`](super::SolveFrame)).
+    pub const SOLVE: u8 = 0x01;
+    /// Client → server: liveness probe, payload echoed back
+    /// ([`PingFrame`](super::PingFrame)).
+    pub const PING: u8 = 0x02;
+    /// Client → server: health probe, empty payload.
+    pub const HEALTH: u8 = 0x03;
+    /// Server → client: the answer to a solve ([`AnswerFrame`](super::AnswerFrame)).
+    pub const ANSWER: u8 = 0x81;
+    /// Server → client: ping echo ([`PongFrame`](super::PongFrame)).
+    pub const PONG: u8 = 0x82;
+    /// Server → client: health report ([`HealthReport`](crate::HealthReport)).
+    pub const HEALTH_REPORT: u8 = 0x83;
+    /// Server → client: protocol-level error ([`WireError`](super::WireError)); the
+    /// connection closes after this frame.
+    pub const ERROR: u8 = 0xEF;
+    /// Server → client: draining for shutdown ([`GoAwayFrame`](super::GoAwayFrame));
+    /// the connection closes after this frame.
+    pub const GO_AWAY: u8 = 0xFE;
+}
+
+/// Error codes carried by [`WireError`] frames.
+pub mod code {
+    /// The payload was not valid UTF-8 JSON of the kind's type, or the stream broke
+    /// mid-frame (torn frame).
+    pub const MALFORMED: u16 = 1;
+    /// The frame's version byte differs from [`VERSION`](super::VERSION).
+    pub const UNSUPPORTED_VERSION: u16 = 2;
+    /// The kind byte is unknown, or a response kind was sent to the server.
+    pub const UNKNOWN_KIND: u16 = 3;
+    /// The declared payload length exceeds the receiver's configured bound.
+    pub const FRAME_TOO_LARGE: u16 = 4;
+    /// A per-connection read or write deadline fired; the peer was too slow.
+    pub const DEADLINE_EXCEEDED: u16 = 5;
+    /// The server is draining for shutdown and no longer takes requests.
+    pub const DRAINING: u16 = 6;
+}
+
+/// Client → server: solve `request` and answer with an [`AnswerFrame`] echoing
+/// `id`. The server clamps the request's deadline to its configured per-job cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveFrame {
+    /// Client-chosen correlation id, echoed verbatim in the answer.
+    pub id: u64,
+    /// The engine request, exactly as `tagdm_engine::Engine::solve` takes it.
+    pub request: SolveRequest,
+}
+
+/// Server → client: the engine's answer to the [`SolveFrame`] with the same `id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnswerFrame {
+    /// The correlation id of the solve this answers.
+    pub id: u64,
+    /// The full engine response (outcome or typed error, cache report, timings).
+    pub response: SolveResponse,
+}
+
+/// Client → server: liveness/RTT probe. `pad` is echoed back unchanged, so probes
+/// can also size frames deliberately (e.g. to measure throughput).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PingFrame {
+    /// Client-chosen nonce, echoed in the pong.
+    pub nonce: u64,
+    /// Arbitrary padding, echoed in the pong.
+    pub pad: String,
+}
+
+/// Server → client: echo of a [`PingFrame`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PongFrame {
+    /// The ping's nonce.
+    pub nonce: u64,
+    /// The ping's padding, unchanged.
+    pub pad: String,
+}
+
+/// Server → client: a protocol-level failure. Engine-level errors (unknown dataset,
+/// overload, …) are *not* wire errors — they ride inside
+/// [`AnswerFrame::response`]; a `WireError` means the conversation itself broke and
+/// the connection closes after it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// One of the [`code`] constants.
+    pub code: u16,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Server → client: the server is draining for shutdown. Sent to idle connections
+/// and after the last in-flight answer; the client should reconnect elsewhere (or
+/// later).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoAwayFrame {
+    /// Why the server is going away.
+    pub reason: String,
+}
+
+/// One decoded frame — the typed union of every kind the protocol defines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A solve request ([`kind::SOLVE`]).
+    Solve(SolveFrame),
+    /// A liveness probe ([`kind::PING`]).
+    Ping(PingFrame),
+    /// A health probe ([`kind::HEALTH`], empty payload).
+    Health,
+    /// A solve answer ([`kind::ANSWER`]).
+    Answer(AnswerFrame),
+    /// A ping echo ([`kind::PONG`]).
+    Pong(PongFrame),
+    /// A health report ([`kind::HEALTH_REPORT`]).
+    HealthReport(HealthReport),
+    /// A protocol-level error ([`kind::ERROR`]).
+    Error(WireError),
+    /// A draining notice ([`kind::GO_AWAY`]).
+    GoAway(GoAwayFrame),
+}
+
+impl Frame {
+    /// The kind byte this frame is encoded under.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Solve(_) => kind::SOLVE,
+            Frame::Ping(_) => kind::PING,
+            Frame::Health => kind::HEALTH,
+            Frame::Answer(_) => kind::ANSWER,
+            Frame::Pong(_) => kind::PONG,
+            Frame::HealthReport(_) => kind::HEALTH_REPORT,
+            Frame::Error(_) => kind::ERROR,
+            Frame::GoAway(_) => kind::GO_AWAY,
+        }
+    }
+
+    /// Serialize the payload as compact JSON ([`Frame::Health`] has no payload and
+    /// encodes as the empty string).
+    pub fn encode_payload(&self) -> Result<String, NetError> {
+        let encoded = match self {
+            Frame::Solve(payload) => serde_json::to_string(payload),
+            Frame::Ping(payload) => serde_json::to_string(payload),
+            Frame::Health => return Ok(String::new()),
+            Frame::Answer(payload) => serde_json::to_string(payload),
+            Frame::Pong(payload) => serde_json::to_string(payload),
+            Frame::HealthReport(payload) => serde_json::to_string(payload),
+            Frame::Error(payload) => serde_json::to_string(payload),
+            Frame::GoAway(payload) => serde_json::to_string(payload),
+        };
+        encoded.map_err(|error| NetError::Malformed(format!("encode payload: {error:?}")))
+    }
+
+    /// Decode the payload of a frame of `kind` from its JSON text.
+    pub fn decode(kind_byte: u8, payload: &str) -> Result<Frame, NetError> {
+        fn json<T: Deserialize>(payload: &str) -> Result<T, NetError> {
+            serde_json::from_str(payload)
+                .map_err(|error| NetError::Malformed(format!("decode payload: {error:?}")))
+        }
+        match kind_byte {
+            kind::SOLVE => Ok(Frame::Solve(json(payload)?)),
+            kind::PING => Ok(Frame::Ping(json(payload)?)),
+            kind::HEALTH => Ok(Frame::Health),
+            kind::ANSWER => Ok(Frame::Answer(json(payload)?)),
+            kind::PONG => Ok(Frame::Pong(json(payload)?)),
+            kind::HEALTH_REPORT => Ok(Frame::HealthReport(json(payload)?)),
+            kind::ERROR => Ok(Frame::Error(json(payload)?)),
+            kind::GO_AWAY => Ok(Frame::GoAway(json(payload)?)),
+            unknown => Err(NetError::UnknownKind(unknown)),
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Latent Dirichlet Allocation (Blei, Ng & Jordan, 2003 — reference [3] of the paper)
+//! Latent Dirichlet Allocation (Blei, Ng & Jordan, 2003 — reference \[3\] of the paper)
 //! trained by collapsed Gibbs sampling, with fold-in inference for unseen documents.
 //!
 //! The paper's evaluation summarizes each tagging-action group's tag multiset with LDA
@@ -12,7 +12,7 @@
 //!   rendering topics);
 //! * [`LdaModel::infer`] — fold-in Gibbs inference of θ for a document that was not part
 //!   of training;
-//! * [`LdaSummarizer`] — the [`GroupSummarizer`](crate::summarizer::GroupSummarizer)
+//! * [`LdaSummarizer`] — the [`GroupSummarizer`]
 //!   adapter used by the TagDM pipeline.
 
 use rand::rngs::StdRng;

@@ -1,4 +1,4 @@
-//! tf·idf weighted tag signatures (Salton & Buckley, 1988 — reference [19] of the paper).
+//! tf·idf weighted tag signatures (Salton & Buckley, 1988 — reference \[19\] of the paper).
 //!
 //! Term frequency is dampened logarithmically and weighted by inverse document
 //! frequency, so tags that appear in almost every group (e.g. the director's name in

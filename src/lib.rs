@@ -15,7 +15,10 @@
 //! * [`core`] (`tagdm-core`) — the dual mining framework itself: problems, constraints,
 //!   objectives and the Exact / SM-LSH / DV-FDP solvers;
 //! * [`engine`] (`tagdm-engine`) — a concurrent mining service: context/outcome caching,
-//!   a deadline-aware solver worker pool and built-in metrics.
+//!   a deadline-aware solver worker pool and built-in metrics;
+//! * [`net`] (`tagdm-net`) — a deadline-aware TCP transport for the engine: versioned
+//!   JSON frames (`docs/PROTOCOL.md`), a draining server with a supervised acceptor
+//!   and a reconnecting blocking client.
 //!
 //! See the [`prelude`] for the handful of types most programs need, the `examples/`
 //! directory for runnable end-to-end scenarios, and the `tagdm-bench` crate for the
@@ -48,6 +51,7 @@ pub use tagdm_data as data;
 pub use tagdm_engine as engine;
 pub use tagdm_geometry as geometry;
 pub use tagdm_lsh as lsh;
+pub use tagdm_net as net;
 pub use tagdm_topics as topics;
 
 /// The types most TagDM programs need.
@@ -69,6 +73,9 @@ pub mod prelude {
     pub use tagdm_engine::{
         AdmissionPolicy, Backoff, ContextSpec, Engine, EngineConfig, EngineError, RetryPolicy,
         SolveRequest, SolveResponse, SolverChoice, SupervisorConfig,
+    };
+    pub use tagdm_net::{
+        Client, ClientConfig, HealthReport, HealthStatus, NetError, Server, ServerConfig,
     };
     pub use tagdm_topics::lda::LdaConfig;
     pub use tagdm_topics::signature::TagSignature;

@@ -1,0 +1,161 @@
+//! Cluster health: every shard's verdict, breaker position and engine report
+//! folded into one serializable `ClusterHealth`.
+//!
+//! Remote shards answer through the existing `HEALTH` frame (the report is the
+//! same [`HealthReport`] a `tagdm-net` server serves), so an operator probing a
+//! cluster front-end sees the whole fleet — including each engine's admission
+//! queue depth and worker-restart count — from one call.
+
+use serde::{Deserialize, Serialize};
+
+use tagdm_net::{HealthReport, HealthStatus};
+
+use crate::breaker::BreakerState;
+
+/// One shard's entry in a [`ClusterHealth`] report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// The shard's name.
+    pub name: String,
+    /// `"local"` or `"remote"`.
+    pub kind: String,
+    /// Whether the shard still owns points on the ring (retired shards stay in
+    /// the report so operators see what was drained away).
+    pub in_ring: bool,
+    /// The shard's breaker state at probe time.
+    pub breaker: BreakerState,
+    /// The shard's own health report, or `None` when the probe conversation
+    /// failed (unreachable remote, dead local pool).
+    pub report: Option<HealthReport>,
+}
+
+impl ShardHealth {
+    /// Whether this shard can currently take traffic: reachable, not draining,
+    /// breaker not open.
+    pub fn available(&self) -> bool {
+        self.breaker != BreakerState::Open
+            && self
+                .report
+                .as_ref()
+                .is_some_and(|report| report.status != HealthStatus::Draining)
+    }
+}
+
+/// The cluster's aggregate verdict plus every shard's detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterHealth {
+    /// Aggregate verdict: `Ok` when every in-ring shard is reachable, fully
+    /// staffed and closed-breaker; `Degraded` otherwise. (A cluster never
+    /// reports `Draining` — draining is a per-server state.)
+    pub status: HealthStatus,
+    /// Per-shard detail, in shard-table order.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl ClusterHealth {
+    /// Fold per-shard entries into the aggregate verdict.
+    pub(crate) fn from_shards(shards: Vec<ShardHealth>) -> Self {
+        let all_ok = shards.iter().filter(|shard| shard.in_ring).all(|shard| {
+            shard.breaker == BreakerState::Closed
+                && shard
+                    .report
+                    .as_ref()
+                    .is_some_and(|report| report.status == HealthStatus::Ok)
+        });
+        ClusterHealth {
+            status: if all_ok {
+                HealthStatus::Ok
+            } else {
+                HealthStatus::Degraded
+            },
+            shards,
+        }
+    }
+
+    /// Shards that can take traffic right now.
+    pub fn available_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|shard| shard.in_ring && shard.available())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_report() -> HealthReport {
+        HealthReport {
+            status: HealthStatus::Ok,
+            workers_alive: 2,
+            workers_configured: 2,
+            jobs_submitted: 0,
+            jobs_completed: 0,
+            jobs_rejected: 0,
+            queue_depth: 0,
+            worker_restarts: 0,
+            connections_open: 0,
+            datasets: 1,
+        }
+    }
+
+    fn shard(name: &str, breaker: BreakerState, report: Option<HealthReport>) -> ShardHealth {
+        ShardHealth {
+            name: name.to_string(),
+            kind: "local".to_string(),
+            in_ring: true,
+            breaker,
+            report,
+        }
+    }
+
+    #[test]
+    fn all_healthy_shards_aggregate_to_ok() {
+        let health = ClusterHealth::from_shards(vec![
+            shard("a", BreakerState::Closed, Some(ok_report())),
+            shard("b", BreakerState::Closed, Some(ok_report())),
+        ]);
+        assert_eq!(health.status, HealthStatus::Ok);
+        assert_eq!(health.available_shards(), 2);
+    }
+
+    #[test]
+    fn an_open_breaker_degrades_the_cluster() {
+        let health = ClusterHealth::from_shards(vec![
+            shard("a", BreakerState::Closed, Some(ok_report())),
+            shard("b", BreakerState::Open, Some(ok_report())),
+        ]);
+        assert_eq!(health.status, HealthStatus::Degraded);
+        assert_eq!(health.available_shards(), 1);
+    }
+
+    #[test]
+    fn an_unreachable_shard_degrades_the_cluster() {
+        let health = ClusterHealth::from_shards(vec![
+            shard("a", BreakerState::Closed, Some(ok_report())),
+            shard("b", BreakerState::Closed, None),
+        ]);
+        assert_eq!(health.status, HealthStatus::Degraded);
+    }
+
+    #[test]
+    fn retired_shards_do_not_count_against_the_verdict() {
+        let mut retired = shard("old", BreakerState::Open, None);
+        retired.in_ring = false;
+        let health = ClusterHealth::from_shards(vec![
+            shard("a", BreakerState::Closed, Some(ok_report())),
+            retired,
+        ]);
+        assert_eq!(health.status, HealthStatus::Ok);
+    }
+
+    #[test]
+    fn cluster_health_round_trips_through_serde() {
+        let health =
+            ClusterHealth::from_shards(vec![shard("a", BreakerState::HalfOpen, Some(ok_report()))]);
+        let json = serde_json::to_string(&health).expect("serialize");
+        let back: ClusterHealth = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, health);
+    }
+}

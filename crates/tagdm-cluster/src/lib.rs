@@ -1,0 +1,82 @@
+//! # tagdm-cluster
+//!
+//! A consistent-hash sharded routing tier for the TagDM mining engine: the
+//! subsystem that fans a mixed workload across N engine shards behind one
+//! [`Cluster`] facade with the same `solve` / `solve_with` / `solve_batch`
+//! surface as [`Engine`](tagdm_engine::Engine).
+//!
+//! The paper's dual mining problems are embarrassingly partitionable by mining
+//! context — each `(dataset, grouping, summarizer)` context is an independent
+//! optimization — so the natural scale-out unit is the
+//! [`ContextKey`](tagdm_engine::ContextKey). Everything here is std-only and
+//! blocking, like the rest of the workspace. Four pieces:
+//!
+//! * **[`HashRing`]** — a seeded, deterministic consistent-hash ring with
+//!   virtual nodes mapping `ContextKey` → shard. Removing a shard remaps *only*
+//!   that shard's keys, so every surviving engine keeps its context caches
+//!   warm across membership changes.
+//! * **[`ShardBackend`]** — pluggable shard dispatch: [`LocalShard`] wraps an
+//!   in-process `Arc<Engine>`; [`RemoteShard`] reuses the `tagdm-net`
+//!   [`Client`](tagdm_net::Client), so one cluster can mix resident engines and
+//!   machines across the network.
+//! * **[`CircuitBreaker`]** — per-shard Closed/Open/HalfOpen breakers tripped
+//!   by sustained transient faults (caught panics, overload rejections, shed
+//!   queue entries, transport errors). While open, routing fails fast or
+//!   spills to the key's next ring replica per [`SpillPolicy`]; after the
+//!   cool-down a half-open `PING` probe decides whether the shard is trusted
+//!   again.
+//! * **Scatter-gather** — [`Cluster::solve_batch`] groups a request list by
+//!   shard, dispatches each group concurrently on scoped threads and
+//!   reassembles responses in request order.
+//!
+//! Observability folds the same way the transport's does: per-shard
+//! routed/spilled/denied counters and a routing-latency histogram snapshot into
+//! a serializable [`ClusterMetricsSnapshot`], and [`Cluster::health`] gathers
+//! every shard's [`HealthReport`](tagdm_net::HealthReport) — through the
+//! existing `HEALTH` frame for remote shards — into one [`ClusterHealth`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tagdm_core::catalog::{problem_1, ProblemParams};
+//! use tagdm_core::context::SummarizerChoice;
+//! use tagdm_data::generator::{GeneratorConfig, MovieLensStyleGenerator};
+//! use tagdm_engine::{ContextSpec, Engine, EngineConfig, SolveRequest, SolverChoice};
+//! use tagdm_cluster::{Cluster, ClusterConfig};
+//!
+//! // Two in-process shards over the same corpus.
+//! let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+//! let mut builder = Cluster::builder(ClusterConfig::default());
+//! for index in 0..2 {
+//!     let engine = Arc::new(Engine::new(EngineConfig::default().with_workers(1)));
+//!     engine.register_dataset("ml", dataset.clone());
+//!     builder = builder.local(format!("shard-{index}"), engine);
+//! }
+//! let cluster = builder.build();
+//!
+//! let spec = ContextSpec::grouped(
+//!     "ml",
+//!     &[("user", "gender"), ("item", "genre")],
+//!     5,
+//!     SummarizerChoice::FrequencyNormalized,
+//! );
+//! let params = ProblemParams { k: 3, min_support: 5, user_threshold: 0.2, item_threshold: 0.2 };
+//! let response = cluster.solve(SolveRequest::new(spec, problem_1(params), SolverChoice::Recommended));
+//! assert!(response.result.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod breaker;
+mod cluster;
+mod health;
+mod metrics;
+mod ring;
+
+pub use backend::{LocalShard, RemoteShard, ShardBackend, ShardError};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, SpillPolicy};
+pub use health::{ClusterHealth, ShardHealth};
+pub use metrics::{ClusterMetricsSnapshot, ShardMetricsSnapshot};
+pub use ring::HashRing;

@@ -1,0 +1,232 @@
+//! The consistent-hash ring: deterministic `ContextKey` → shard placement.
+//!
+//! Each shard owns `virtual_nodes` points on a 64-bit ring; a key routes to the
+//! shard owning the first point at or after the key's hash (wrapping). Virtual
+//! nodes smooth the per-shard share toward `1/N`, and consistency means removing
+//! a shard only remaps the keys that shard owned — every other key keeps its
+//! placement, which is exactly what keeps the per-shard context caches warm
+//! across membership changes.
+//!
+//! Hashing is FNV-1a over `seed`-prefixed strings: no `RandomState`, no clock,
+//! no platform dependence. Two rings built from the same `(seed, virtual_nodes,
+//! member list)` place every key identically, on any machine — the property the
+//! rebalance tests pin.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` (folding `seed` in first so distinct seeds give
+/// independent rings), finished with a murmur3-style avalanche. The finalizer
+/// matters: raw FNV-1a leaves the high bits dominated by the shared prefix, so
+/// `shard-0#0 … shard-0#63` would all land in one tight band of the ring and
+/// the shard would own one contiguous arc instead of 64 scattered points.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in seed.to_le_bytes().iter().chain(bytes) {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// A deterministic consistent-hash ring over shard indices.
+///
+/// The ring stores plain `usize` shard indices (the position of each shard in
+/// the cluster's shard table); names are only hashed, never stored, so lookups
+/// are cheap and the structure is trivially cloneable.
+///
+/// ```
+/// use tagdm_cluster::HashRing;
+///
+/// let mut ring = HashRing::new(64, 42);
+/// ring.insert(0, "shard-0");
+/// ring.insert(1, "shard-1");
+/// let owner = ring.primary("grouped:ml|user.gender").unwrap();
+/// assert!(owner < 2);
+/// // Same build → same placement, always.
+/// let mut again = HashRing::new(64, 42);
+/// again.insert(0, "shard-0");
+/// again.insert(1, "shard-1");
+/// assert_eq!(again.primary("grouped:ml|user.gender"), Some(owner));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    virtual_nodes: usize,
+    seed: u64,
+    /// `(point, shard index)` sorted by point; binary-searched per lookup.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// An empty ring. `virtual_nodes` is clamped to at least 1; `seed` makes
+    /// placement reproducible (and lets tests build adversarial layouts).
+    pub fn new(virtual_nodes: usize, seed: u64) -> Self {
+        HashRing {
+            virtual_nodes: virtual_nodes.max(1),
+            seed,
+            points: Vec::new(),
+        }
+    }
+
+    /// Add shard `index` (named `name`) to the ring as `virtual_nodes` points.
+    /// Inserting an index twice stacks duplicate points — callers keep indices
+    /// unique.
+    pub fn insert(&mut self, index: usize, name: &str) {
+        for vnode in 0..self.virtual_nodes {
+            let label = format!("{name}#{vnode}");
+            self.points
+                .push((fnv1a(self.seed, label.as_bytes()), index));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Remove every point shard `index` owns. Keys that hashed to other shards
+    /// are untouched — the consistency property.
+    pub fn remove(&mut self, index: usize) {
+        self.points.retain(|&(_, shard)| shard != index);
+    }
+
+    /// Number of distinct shards with points on the ring.
+    pub fn len(&self) -> usize {
+        let mut indices: Vec<usize> = self.points.iter().map(|&(_, shard)| shard).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        indices.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The shard owning `key`, or `None` on an empty ring.
+    pub fn primary(&self, key: &str) -> Option<usize> {
+        self.walk(key).next()
+    }
+
+    /// Every distinct shard in ring order starting at `key`'s owner: the
+    /// primary first, then the successive replicas an open breaker spills to.
+    pub fn replicas(&self, key: &str) -> Vec<usize> {
+        self.walk(key).collect()
+    }
+
+    /// Iterate distinct shard indices clockwise from `key`'s hash.
+    fn walk(&self, key: &str) -> impl Iterator<Item = usize> + '_ {
+        let hash = fnv1a(self.seed, key.as_bytes());
+        let start = self.points.partition_point(|&(point, _)| point < hash);
+        let mut seen = Vec::new();
+        (0..self.points.len()).filter_map(move |offset| {
+            let (_, shard) = self.points[(start + offset) % self.points.len()];
+            if seen.contains(&shard) {
+                None
+            } else {
+                seen.push(shard);
+                Some(shard)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(n: usize) -> HashRing {
+        let mut ring = HashRing::new(64, 7);
+        for index in 0..n {
+            ring.insert(index, &format!("shard-{index}"));
+        }
+        ring
+    }
+
+    fn keys() -> Vec<String> {
+        (0..1000).map(|i| format!("grouped:ml|ctx-{i}")).collect()
+    }
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = HashRing::new(8, 0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.primary("anything"), None);
+        assert!(ring.replicas("anything").is_empty());
+    }
+
+    #[test]
+    fn placement_is_deterministic_across_builds() {
+        let a = ring_of(4);
+        let b = ring_of(4);
+        for key in keys() {
+            assert_eq!(a.primary(&key), b.primary(&key));
+            assert_eq!(a.replicas(&key), b.replicas(&key));
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_keys_roughly_evenly() {
+        let ring = ring_of(4);
+        let mut counts = [0usize; 4];
+        for key in keys() {
+            counts[ring.primary(&key).unwrap()] += 1;
+        }
+        for &count in &counts {
+            // 1000 keys over 4 shards with 64 vnodes each: every shard gets a
+            // real share (the bound is loose on purpose — this pins "no shard is
+            // starved or hot by an order of magnitude", not a distribution).
+            assert!((63..=500).contains(&count), "unbalanced ring: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn replicas_start_at_the_primary_and_cover_every_shard() {
+        let ring = ring_of(4);
+        for key in keys().iter().take(50) {
+            let replicas = ring.replicas(key);
+            assert_eq!(replicas[0], ring.primary(key).unwrap());
+            let mut sorted = replicas.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_keys() {
+        let full = ring_of(4);
+        let mut reduced = ring_of(4);
+        reduced.remove(2);
+        assert_eq!(reduced.len(), 3);
+        let mut moved = 0;
+        for key in keys() {
+            let before = full.primary(&key).unwrap();
+            let after = reduced.primary(&key).unwrap();
+            if before == 2 {
+                assert_ne!(after, 2, "key still routed to the removed shard");
+                moved += 1;
+            } else {
+                // The consistency property: survivors keep every key they owned.
+                assert_eq!(before, after, "key moved off a surviving shard");
+            }
+        }
+        assert!(moved > 0, "the removed shard owned no keys at all");
+    }
+
+    #[test]
+    fn spilled_keys_follow_the_replica_walk() {
+        // The shard a key spills to when its primary is removed is exactly the
+        // key's second replica on the full ring — breakers and membership
+        // changes agree on the fallback.
+        let full = ring_of(4);
+        let mut reduced = ring_of(4);
+        reduced.remove(2);
+        for key in keys() {
+            if full.primary(&key).unwrap() == 2 {
+                assert_eq!(reduced.primary(&key).unwrap(), full.replicas(&key)[1]);
+            }
+        }
+    }
+}

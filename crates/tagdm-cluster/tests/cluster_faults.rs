@@ -1,0 +1,156 @@
+//! Chaos test: injected worker panics trip a shard's circuit breaker, traffic
+//! spills to the key's ring replica, and the half-open probe recloses the
+//! breaker once the shard is healthy again — with no caller ever hanging.
+//!
+//! The failpoint registry is process-global, so this binary holds exactly one
+//! `#[test]`: a sibling test arming sites concurrently would race it.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tagdm_cluster::{BreakerConfig, BreakerState, Cluster, ClusterConfig};
+use tagdm_core::catalog::{problem_1, ProblemParams};
+use tagdm_core::context::SummarizerChoice;
+use tagdm_data::generator::{GeneratorConfig, MovieLensStyleGenerator};
+use tagdm_engine::failpoint::{self, site, FailAction};
+use tagdm_engine::{ContextSpec, Engine, EngineConfig, EngineError, SolveRequest, SolverChoice};
+
+const GROUPING: [(&str, &str); 2] = [("user", "gender"), ("item", "genre")];
+const COOLDOWN: Duration = Duration::from_millis(200);
+
+fn engine_with_corpus() -> Arc<Engine> {
+    let engine = Engine::new(EngineConfig::default().with_workers(1));
+    let dataset = MovieLensStyleGenerator::new(GeneratorConfig::small()).generate();
+    engine.register_dataset("ml-small", dataset);
+    Arc::new(engine)
+}
+
+fn request() -> SolveRequest {
+    let spec = ContextSpec::grouped(
+        "ml-small",
+        &GROUPING,
+        5,
+        SummarizerChoice::FrequencyNormalized,
+    );
+    let params = ProblemParams {
+        k: 3,
+        min_support: 5,
+        user_threshold: 0.2,
+        item_threshold: 0.2,
+    };
+    SolveRequest::new(spec, problem_1(params), SolverChoice::Recommended)
+}
+
+/// The full breaker lifecycle, Closed → Open → HalfOpen → Closed:
+///
+/// 1. Three injected worker panics on the primary shard trip its breaker
+///    (threshold 3).
+/// 2. While the breaker is open the same key spills to its ring replica and is
+///    answered there — the caller sees success, not `WorkerPanicked`.
+/// 3. After the cool-down the next request probes the primary (half-open
+///    `PING`), the probe passes, the breaker recloses, and traffic returns.
+///
+/// Every `solve` below returns promptly; a hang anywhere fails via the
+/// watchdog assertions on elapsed time.
+#[test]
+fn panics_trip_the_breaker_spill_covers_and_the_probe_recloses() {
+    failpoint::disarm_all();
+    let cluster = Cluster::builder(
+        ClusterConfig::default().with_breaker(
+            BreakerConfig::default()
+                .with_failure_threshold(3)
+                .with_cooldown(COOLDOWN)
+                .with_success_threshold(1),
+        ),
+    )
+    .local("shard-a", engine_with_corpus())
+    .local("shard-b", engine_with_corpus())
+    .build();
+
+    let primary = cluster
+        .shard_for(&request().context.key())
+        .expect("routable")
+        .to_string();
+    let replica = if primary == "shard-a" {
+        "shard-b"
+    } else {
+        "shard-a"
+    };
+    assert_eq!(cluster.breaker_state(&primary), Some(BreakerState::Closed));
+
+    // Only the primary shard's engine ever runs this key, so arming the global
+    // RUN_JOB site three times injects exactly three panics into that shard.
+    failpoint::arm_times(
+        site::RUN_JOB,
+        3,
+        FailAction::Panic("chaos: shard down".into()),
+    );
+
+    // 1. Three solves each come back with the caught panic inside the response
+    // (the engine isolates worker panics), feeding the breaker to its threshold.
+    let watchdog = Instant::now();
+    for attempt in 0..3 {
+        let response = cluster.solve(request());
+        match response.result {
+            Err(EngineError::WorkerPanicked { .. }) => {}
+            other => panic!("attempt {attempt}: expected caught panic, got {other:?}"),
+        }
+        assert!(watchdog.elapsed() < Duration::from_secs(30), "caller hung");
+    }
+    failpoint::disarm_all();
+    assert_eq!(cluster.breaker_state(&primary), Some(BreakerState::Open));
+    assert_eq!(cluster.breaker_state(replica), Some(BreakerState::Closed));
+
+    // 2. The breaker is open: the same key now spills to the replica and
+    // succeeds there. The primary is denied, not probed (cool-down not over).
+    let spilled = cluster.solve(request());
+    assert!(spilled.result.is_ok(), "spill to the replica should answer");
+    assert_eq!(cluster.breaker_state(&primary), Some(BreakerState::Open));
+    {
+        let metrics = cluster.metrics();
+        let primary_shard = metrics
+            .shards
+            .iter()
+            .find(|shard| shard.name == primary)
+            .expect("primary in metrics");
+        let replica_shard = metrics
+            .shards
+            .iter()
+            .find(|shard| shard.name == replica)
+            .expect("replica in metrics");
+        assert!(primary_shard.denied >= 1, "open breaker never denied");
+        assert!(replica_shard.spilled >= 1, "nothing spilled to the replica");
+    }
+
+    // The cluster health report shows the tripped shard while it is open.
+    let health = cluster.health();
+    let tripped = health
+        .shards
+        .iter()
+        .find(|shard| shard.name == primary)
+        .expect("primary in health");
+    assert_eq!(tripped.breaker, BreakerState::Open);
+    assert!(!tripped.available());
+
+    // 3. Past the cool-down the next request half-open-probes the primary; the
+    // shard is healthy again (its supervisor restarted the panicked worker), so
+    // the probe passes, the breaker recloses and the request runs on the
+    // primary itself.
+    std::thread::sleep(COOLDOWN + Duration::from_millis(50));
+    let recovered = cluster.solve(request());
+    assert!(recovered.result.is_ok(), "post-probe solve should succeed");
+    assert_eq!(cluster.breaker_state(&primary), Some(BreakerState::Closed));
+
+    // Trip + reopen-to-half-open + reclose = 3 recorded transitions.
+    let metrics = cluster.metrics();
+    let primary_shard = metrics
+        .shards
+        .iter()
+        .find(|shard| shard.name == primary)
+        .expect("primary in metrics");
+    assert_eq!(primary_shard.breaker_transitions, 3);
+    assert_eq!(primary_shard.breaker, BreakerState::Closed);
+    assert!(watchdog.elapsed() < Duration::from_secs(60), "test wedged");
+}

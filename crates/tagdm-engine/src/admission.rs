@@ -80,6 +80,11 @@ impl JobQueue {
         }
     }
 
+    /// Jobs queued right now — the saturation gauge health reports expose.
+    pub(crate) fn depth(&self) -> usize {
+        self.inner().queue.len()
+    }
+
     fn inner(&self) -> MutexGuard<'_, Inner> {
         lock_recover(&self.inner)
     }

@@ -146,6 +146,13 @@ impl Engine {
         self.executor.live_workers()
     }
 
+    /// Jobs sitting in the admission queue right now. A persistently non-zero
+    /// depth means submissions outpace the worker pool — the saturation gauge
+    /// health reports and circuit breakers watch.
+    pub fn queue_depth(&self) -> usize {
+        self.executor.queue_depth()
+    }
+
     /// Register (or replace) a dataset under `name`. Existing cached contexts built
     /// from a replaced dataset stay valid for their own `Arc`'d data but new grouped
     /// specs resolve against the new registration — re-register under a fresh name to

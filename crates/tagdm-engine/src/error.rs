@@ -39,6 +39,16 @@ pub enum EngineError {
     },
     /// The engine was shut down before the job could be answered.
     Shutdown,
+    /// A routing tier (`tagdm-cluster`) could not place the job on any shard:
+    /// every candidate's circuit breaker was open or its dispatch failed. A
+    /// resident engine never produces this itself; it exists so cluster answers
+    /// stay inside the one typed error surface callers already handle.
+    ShardUnavailable {
+        /// The shard the request hashed to (the start of the replica walk).
+        shard: String,
+        /// Why the last candidate was skipped or failed.
+        detail: String,
+    },
 }
 
 impl EngineError {
@@ -63,7 +73,8 @@ impl EngineError {
         match self {
             EngineError::WorkerPanicked { .. }
             | EngineError::Overloaded { .. }
-            | EngineError::DeadlineExpiredInQueue { .. } => true,
+            | EngineError::DeadlineExpiredInQueue { .. }
+            | EngineError::ShardUnavailable { .. } => true,
             EngineError::UnknownDataset(_)
             | EngineError::UnknownContext(_)
             | EngineError::InvalidGrouping(_)
@@ -93,6 +104,9 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::Shutdown => write!(f, "engine shut down"),
+            EngineError::ShardUnavailable { shard, detail } => {
+                write!(f, "no shard available for `{shard}`: {detail}")
+            }
         }
     }
 }
@@ -126,6 +140,14 @@ mod tests {
             EngineError::Overloaded { capacity: 4 }.to_string(),
             "engine overloaded: admission queue at capacity 4"
         );
+        assert_eq!(
+            EngineError::ShardUnavailable {
+                shard: "shard-1".into(),
+                detail: "breaker open".into()
+            }
+            .to_string(),
+            "no shard available for `shard-1`: breaker open"
+        );
     }
 
     #[test]
@@ -144,6 +166,11 @@ mod tests {
         assert!(!EngineError::UnknownContext("ctx".into()).is_transient());
         assert!(!EngineError::InvalidGrouping("no such attribute".into()).is_transient());
         assert!(!EngineError::Shutdown.is_transient());
+        assert!(EngineError::ShardUnavailable {
+            shard: "shard-0".into(),
+            detail: "breaker open".into()
+        }
+        .is_transient());
     }
 
     #[test]
@@ -157,6 +184,10 @@ mod tests {
                 waited: Duration::from_millis(7),
             },
             EngineError::Shutdown,
+            EngineError::ShardUnavailable {
+                shard: "shard-2".into(),
+                detail: "connection refused".into(),
+            },
         ] {
             let json = serde_json::to_string(&error).expect("errors serialize");
             let back: EngineError = serde_json::from_str(&json).expect("errors deserialize");

@@ -165,6 +165,11 @@ impl JobExecutor {
         self.target_workers
     }
 
+    /// Jobs sitting in the admission queue right now.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
     /// Worker threads alive right now — dips below [`num_workers`](Self::num_workers)
     /// between a death and its respawn.
     pub(crate) fn live_workers(&self) -> usize {

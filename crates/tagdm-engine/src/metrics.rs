@@ -323,6 +323,31 @@ impl MetricsSnapshot {
         ratio(self.outcome_hits, self.outcome_misses)
     }
 
+    /// Jobs that ended in a transient fault: caught panics, admission rejections,
+    /// shed queue entries and queue-expired deadlines. This is the numerator
+    /// circuit breakers (`tagdm-cluster`) watch.
+    ///
+    /// ```
+    /// let mut snap = tagdm_engine::MetricsSnapshot::default();
+    /// snap.jobs_panicked = 2;
+    /// snap.jobs_shed = 1;
+    /// assert_eq!(snap.transient_faults(), 3);
+    /// ```
+    pub fn transient_faults(&self) -> u64 {
+        self.jobs_panicked + self.jobs_rejected + self.jobs_shed + self.jobs_expired
+    }
+
+    /// Transient faults as a fraction of completed jobs (0 when none completed).
+    /// A sustained rate near 1.0 means the engine is answering mostly with
+    /// panics/overload — the trip signal for a per-shard circuit breaker.
+    pub fn fault_rate(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.transient_faults() as f64 / self.jobs_completed as f64
+        }
+    }
+
     /// Multi-line plain-text report, e.g. for `examples/engine_service.rs`.
     pub fn render(&self) -> String {
         let mut out = String::new();

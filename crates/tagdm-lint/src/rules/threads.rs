@@ -2,7 +2,8 @@
 //!
 //! * **TH01** — inside `tagdm-engine`, only the executor and supervisor modules may
 //!   create threads; inside `tagdm-net`, only the server (acceptor) and conn
-//!   (handler) modules may. Every thread must be owned by a supervision or
+//!   (handler) modules may; inside `tagdm-cluster`, only the cluster facade
+//!   (scoped batch dispatch) may. Every thread must be owned by a supervision or
 //!   registration tree so a panic is observed — workers are respawned, the acceptor
 //!   is respawned by its guard, connection handlers are registered for
 //!   join-on-drain; a raw `thread::spawn` elsewhere is an unsupervised thread whose
@@ -18,8 +19,10 @@ use crate::SourceFile;
 /// The source trees TH01 polices, each with its designated thread-owner modules.
 /// The engine's threads belong to the worker pool's supervision tree; the
 /// transport's threads are the supervised acceptor (`server.rs`) and the
-/// registered, joined-on-drain connection handlers (`conn.rs`).
-const THREAD_TREES: [(&str, &[&str], &str); 2] = [
+/// registered, joined-on-drain connection handlers (`conn.rs`); the cluster's
+/// batch-dispatch threads live in `cluster.rs`, scoped so `solve_batch` joins
+/// every one before returning.
+const THREAD_TREES: [(&str, &[&str], &str); 3] = [
     (
         "crates/tagdm-engine/src/",
         &["executor.rs", "supervisor.rs"],
@@ -30,6 +33,7 @@ const THREAD_TREES: [(&str, &[&str], &str); 2] = [
         &["server.rs", "conn.rs"],
         "server/conn",
     ),
+    ("crates/tagdm-cluster/src/", &["cluster.rs"], "cluster"),
 ];
 /// Path prefix SL01 polices.
 const SOLVER_SRC: &str = "crates/tagdm-core/src/solvers/";

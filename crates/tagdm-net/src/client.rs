@@ -1,7 +1,7 @@
 //! The blocking client: one connection, reconnect-with-backoff and transparent
 //! retry of transient failures.
 
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use tagdm_engine::{RetryPolicy, SolveRequest, SolveResponse};
@@ -191,6 +191,16 @@ impl Client {
         }
     }
 
+    /// Close the connection gracefully: shut the write half down so the peer's
+    /// next read sees EOF. The client is strictly request/response — a frame is
+    /// never left half-written when control returns here — so the handler on the
+    /// other side logs a clean disconnect instead of a torn-frame error.
+    fn close(&mut self) {
+        if let Some(stream) = self.stream.take() {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+    }
+
     fn ensure_stream(&mut self) -> Result<&mut TcpStream, NetError> {
         if self.stream.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
@@ -200,5 +210,11 @@ impl Client {
             self.stream = Some(stream);
         }
         Ok(self.stream.as_mut().expect("stream was just ensured"))
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        self.close();
     }
 }

@@ -33,6 +33,11 @@ pub struct HealthReport {
     pub jobs_completed: u64,
     /// Jobs refused at admission (overload).
     pub jobs_rejected: u64,
+    /// Jobs sitting in the admission queue at probe time. A persistently
+    /// non-zero depth is the saturation signal breakers and operators watch.
+    pub queue_depth: u64,
+    /// Dead workers respawned by the engine's supervisor over its lifetime.
+    pub worker_restarts: u64,
     /// Network connections open right now (opened minus closed).
     pub connections_open: u64,
     /// Datasets registered on the engine.
@@ -61,6 +66,8 @@ impl HealthReport {
             jobs_submitted: metrics.jobs_submitted,
             jobs_completed: metrics.jobs_completed,
             jobs_rejected: metrics.jobs_rejected,
+            queue_depth: engine.queue_depth() as u64,
+            worker_restarts: metrics.worker_restarts,
             connections_open: metrics
                 .net_connections_opened
                 .saturating_sub(metrics.net_connections_closed),
@@ -83,6 +90,8 @@ mod tests {
         assert_eq!(report.workers_configured, 2);
         assert_eq!(report.connections_open, 0);
         assert_eq!(report.datasets, 0);
+        assert_eq!(report.queue_depth, 0);
+        assert_eq!(report.worker_restarts, 0);
     }
 
     #[test]

@@ -134,6 +134,28 @@ fn server_metrics_fold_into_the_engine_registry() {
     assert!(metrics.net_frames_sent >= 2);
 }
 
+/// Dropping a `Client` half-closes the socket at a frame boundary, so the
+/// server sees a clean EOF — never a torn-frame protocol fault.
+#[test]
+fn dropping_a_client_disconnects_cleanly() {
+    let (engine, _) = engine_with_corpus(1);
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default()).expect("bind");
+    for _ in 0..3 {
+        let mut client = fast_client(&server);
+        client.ping("about to hang up").expect("ping");
+        drop(client); // shutdown(Write) at a frame boundary — nothing mid-frame
+    }
+    server.drain(); // joins every handler, so every disconnect is accounted for
+    let metrics = engine.metrics();
+    assert_eq!(metrics.net_frame_errors, 0, "drop tore a frame");
+    assert_eq!(
+        metrics.net_connections_opened,
+        metrics.net_connections_closed
+    );
+    assert!(metrics.net_connections_opened >= 3);
+}
+
 /// Raw-socket tests below drive the protocol edges a well-behaved `Client` never
 /// exercises.
 fn raw_conn(server: &Server) -> TcpStream {

@@ -18,7 +18,10 @@
 //!   a deadline-aware solver worker pool and built-in metrics;
 //! * [`net`] (`tagdm-net`) — a deadline-aware TCP transport for the engine: versioned
 //!   JSON frames (`docs/PROTOCOL.md`), a draining server with a supervised acceptor
-//!   and a reconnecting blocking client.
+//!   and a reconnecting blocking client;
+//! * [`cluster`] (`tagdm-cluster`) — a consistent-hash sharded routing tier: local
+//!   and remote engine shards behind one `Cluster` facade, per-shard circuit
+//!   breakers with half-open `PING` probes, and scatter-gather batch dispatch.
 //!
 //! See the [`prelude`] for the handful of types most programs need, the `examples/`
 //! directory for runnable end-to-end scenarios, and the `tagdm-bench` crate for the
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tagdm_cluster as cluster;
 pub use tagdm_core as core;
 pub use tagdm_data as data;
 pub use tagdm_engine as engine;
@@ -56,6 +60,9 @@ pub use tagdm_topics as topics;
 
 /// The types most TagDM programs need.
 pub mod prelude {
+    pub use tagdm_cluster::{
+        BreakerConfig, BreakerState, Cluster, ClusterConfig, ClusterHealth, SpillPolicy,
+    };
     pub use tagdm_core::catalog::{self, ProblemParams};
     pub use tagdm_core::context::{MiningContext, SummarizerChoice};
     pub use tagdm_core::criteria::{Aggregator, MiningCriterion, PairwiseKind, TaggingDimension};
